@@ -1,0 +1,13 @@
+//! E11 bench: the alarm pipeline, local vs cloud, one mic-hour.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_alarm");
+    g.sample_size(10);
+    g.bench_function("four_mics_one_hour", |b| {
+        b.iter(|| bench::e11_alarm::run(4, 1, 0xE11))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! E4 bench: one sweep point of A vs B.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_arch");
+    g.sample_size(10);
+    g.bench_function("a_vs_b_one_load", |b| {
+        b.iter(|| bench::e04_arch::run(&[4.0], 1, 0xE4))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

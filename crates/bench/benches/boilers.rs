@@ -1,0 +1,11 @@
+//! E15 bench: a year of heater vs boiler capacity.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_boilers");
+    g.sample_size(10);
+    g.bench_function("year_three_systems", |b| b.iter(|| bench::e15_boilers::run(0xE15)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

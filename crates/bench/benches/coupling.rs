@@ -1,0 +1,8 @@
+//! E19 bench: BSP speedup sweep on two fabrics.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e19_coupling_sweep", |b| b.iter(bench::e19_coupling::run));
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

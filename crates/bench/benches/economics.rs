@@ -1,0 +1,10 @@
+//! E10 bench: seasonal pricing + SLA accounting.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e10_economics_year", |b| {
+        b.iter(|| bench::e10_economics::run(500, 30_000.0))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! E1 bench: the full Nov–May thermal loop at small fleet size.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_figure4");
+    g.sample_size(10);
+    g.bench_function("nov_to_may_8_rooms", |b| {
+        b.iter(|| bench::e01_figure4::run(8, 0xF16))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! E3 bench: direct vs indirect vs cloud over one traffic hour.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_flows");
+    g.sample_size(10);
+    g.bench_function("one_hour_three_paths", |b| {
+        b.iter(|| bench::e03_flows::run(1, 0xE3))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! E12 bench: building and loading every server class.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e12_hardware_catalogue", |b| {
+        b.iter(bench::e12_hardware::run)
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

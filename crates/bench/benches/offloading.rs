@@ -1,0 +1,13 @@
+//! E5 bench: the five peak policies over a short peak.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_offload");
+    g.sample_size(10);
+    g.bench_function("five_policies_4h_peak", |b| {
+        b.iter(|| bench::e05_offload::run(4, 10.0, 0xE5))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

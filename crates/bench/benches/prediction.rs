@@ -1,0 +1,13 @@
+//! E7 bench: thermosensitivity fit + three forecasters on a year.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_prediction");
+    g.sample_size(10);
+    g.bench_function("fit_and_forecast_300_homes", |b| {
+        b.iter(|| bench::e07_prediction::run(300, 0xE7))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! E2 bench: PUE accounting over a fleet-month.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e2_pue_1000_servers", |b| {
+        b.iter(|| bench::e02_pue::run(1_000, 30))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

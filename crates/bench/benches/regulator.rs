@@ -1,0 +1,15 @@
+//! E13 bench: the regulator decision kernel (hot path of every tick).
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use df3_core::regulator::HeatRegulator;
+use dfhw::dvfs::DvfsLadder;
+
+fn bench(c: &mut Criterion) {
+    let reg = HeatRegulator::for_qrad();
+    let ladder = DvfsLadder::desktop_i7();
+    c.bench_function("e13_regulator_decide", |b| {
+        b.iter(|| reg.decide(&ladder, black_box(0.63), black_box(12)))
+    });
+    c.bench_function("e13_full_curves", |b| b.iter(bench::e13_regulator::run));
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! E9 bench: a scaled 2016 rendering year through the platform.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_render_year");
+    g.sample_size(10);
+    g.bench_function("scale_0_01", |b| {
+        b.iter(|| bench::e09_render_year::run(0.01, 0xE9))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

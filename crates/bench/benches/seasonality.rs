@@ -1,0 +1,13 @@
+//! E6 bench: a full simulated year of heat-driven capacity.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_seasonality");
+    g.sample_size(10);
+    g.bench_function("year_4_workers_per_cluster", |b| {
+        b.iter(|| bench::e06_seasonality::run(4, 0xE6))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

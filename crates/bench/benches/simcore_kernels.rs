@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the substrate hot paths: event queue, room step,
+//! RNG stream derivation, histogram observation.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simcore::metrics::Histogram;
+use simcore::time::{SimDuration, SimTime};
+use simcore::{EventQueue, RngStreams};
+use thermal::room::{Room, RoomParams};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000i64 {
+                q.schedule(SimTime::from_secs((i * 37) % 500), i);
+            }
+            let mut sum = 0i64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+    c.bench_function("room_step", |b| {
+        let mut room = Room::new(RoomParams::typical_apartment_room(), 18.0);
+        b.iter(|| room.step(SimDuration::from_secs(600), black_box(5.0), black_box(400.0)))
+    });
+    c.bench_function("rng_stream_derivation", |b| {
+        let s = RngStreams::new(42);
+        b.iter(|| s.stream_indexed(black_box("arrivals"), black_box(17)))
+    });
+    c.bench_function("histogram_observe", |b| {
+        let mut h = Histogram::latency_ms(10_000.0);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 37.3) % 9_000.0;
+            h.observe(black_box(x));
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

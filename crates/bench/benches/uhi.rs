@@ -1,0 +1,13 @@
+//! E8 bench: the district grid to steady state.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_uhi");
+    g.sample_size(10);
+    g.bench_function("three_scenarios_32x32", |b| {
+        b.iter(|| bench::e08_uhi::run(200, 1_000.0))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

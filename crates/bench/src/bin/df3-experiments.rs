@@ -1,0 +1,111 @@
+//! `df3-experiments` — regenerate every table/figure of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! df3-experiments            # run the whole suite
+//! df3-experiments e1 e4 e13  # run selected experiments
+//! df3-experiments --fast     # reduced scales (CI-sized)
+//! ```
+
+use std::env;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+    let seed = 0xDF3_2018;
+
+    println!("df3-experiments — reproducing Ngoko et al., IPDPS Workshops 2018");
+    println!("mode: {}\n", if fast { "fast (CI scale)" } else { "full" });
+    let t0 = Instant::now();
+
+    if want("e1") {
+        let (_, table) = bench::e01_figure4::run(if fast { 8 } else { 200 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e2") {
+        let (_, table) = bench::e02_pue::run(1_000, 30);
+        println!("{}", table.render());
+    }
+    if want("e3") {
+        let (_, table) = bench::e03_flows::run(if fast { 2 } else { 24 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e4") {
+        let loads: &[f64] = if fast {
+            &[0.5, 6.0]
+        } else {
+            &[0.5, 1.0, 2.0, 4.0, 6.0, 8.0]
+        };
+        let (_, table) = bench::e04_arch::run(loads, if fast { 2 } else { 6 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e5") {
+        let (_, table) = bench::e05_offload::run(if fast { 6 } else { 12 }, 10.0, seed);
+        println!("{}", table.render());
+    }
+    if want("e6") {
+        let (_, table) = bench::e06_seasonality::run(if fast { 4 } else { 16 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e7") {
+        let (_, table) = bench::e07_prediction::run(if fast { 300 } else { 500 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e8") {
+        let (_, table) = bench::e08_uhi::run(bench::e08_uhi::DEFAULT_SITES, bench::e08_uhi::DEFAULT_UNIT_W);
+        println!("{}", table.render());
+    }
+    if want("e9") {
+        let (_, table) = bench::e09_render_year::run(if fast { 0.02 } else { 0.1 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e10") {
+        let (_, table) = bench::e10_economics::run(500, 2_000_000.0);
+        println!("{}", table.render());
+    }
+    if want("e11") {
+        let (_, table) = bench::e11_alarm::run(if fast { 4 } else { 12 }, if fast { 1 } else { 6 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e12") {
+        let (_, table) = bench::e12_hardware::run();
+        println!("{}", table.render());
+    }
+    if want("e13") {
+        let (_, table) = bench::e13_regulator::run();
+        println!("{}", table.render());
+        println!("{}", bench::e13_regulator::energy_table().render());
+    }
+    if want("e14") {
+        let (_, table) = bench::e14_alternatives::run(if fast { 2 } else { 12 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e15") {
+        let (_, table) = bench::e15_boilers::run(seed);
+        println!("{}", table.render());
+    }
+    if want("e16") {
+        let (_, table) = bench::e16_resilience::run(if fast { 6 } else { 24 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e17") {
+        let (_, table) = bench::e17_mining::run(seed);
+        println!("{}", table.render());
+    }
+    if want("e18") {
+        let (_, table) = bench::e18_aging::run(if fast { 2_000 } else { 20_000 }, seed);
+        println!("{}", table.render());
+    }
+    if want("e19") {
+        let (_, table) = bench::e19_coupling::run();
+        println!("{}", table.render());
+    }
+
+    println!("done in {:.1} s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,149 @@
+//! **E1 — Figure 4**: mean monthly room temperature, November → May,
+//! in rooms heated by Q.rads.
+//!
+//! Paper claim: rooms on Qarnot sites held ≈ 20–23 °C means across the
+//! 2015–2016 heating season (the figure's axis spans 17–26 °C), i.e.
+//! data-furnace heating achieves ordinary electric-heating comfort.
+//! We run the full DF3 loop (weather → room → thermostat → DVFS
+//! regulator → compute/resistive heat) for a fleet of rooms across
+//! Nov–May, next to a resistive-convector baseline in the same weather.
+
+use baselines::electric_heater::{simulate, ElectricHeater};
+use df3_core::regulator::HeatRegulator;
+use df3_core::worker::WorkerSim;
+use dfhw::dvfs::DvfsLadder;
+use simcore::metrics::TimeSeries;
+use simcore::report::{f2, Table};
+use simcore::time::{Calendar, SimDuration, SimTime};
+use simcore::RngStreams;
+use std::sync::Arc;
+use thermal::comfort::ComfortStats;
+use thermal::room::{Room, RoomParams};
+use thermal::thermostat::{ModulatingThermostat, SetpointSchedule};
+use thermal::weather::{Weather, WeatherConfig};
+
+/// Headline results of E1.
+#[derive(Debug, Clone)]
+pub struct Figure4 {
+    /// (month name, DF mean °C, convector mean °C) for Nov..May.
+    pub months: Vec<(String, f64, f64)>,
+    /// DF in-band comfort fraction over the season.
+    pub df_in_band: f64,
+    /// Convector in-band fraction.
+    pub convector_in_band: f64,
+}
+
+/// Run E1. `n_rooms` ≥ 1; the paper's sites are a few hundred rooms.
+pub fn run(n_rooms: usize, seed: u64) -> (Figure4, Table) {
+    assert!(n_rooms >= 1);
+    let cal = Calendar::NOVEMBER_EPOCH;
+    let span = SimDuration::from_days(212); // Nov 1 → May 31
+    let streams = RngStreams::new(seed);
+    let weather = Weather::generate(WeatherConfig::paris(cal), span, &streams);
+    let step = SimDuration::from_secs(600);
+    let schedule = SetpointSchedule {
+        day_c: 21.0,
+        night_c: 18.5,
+        day_start_h: 6.0,
+        night_start_h: 22.0,
+    };
+
+    // Q.rads are deployed in rooms they can actually heat: a 500 W
+    // heater suits an insulated room (Qarnot sizes deployments this
+    // way); the modulating gap is tight so the droop stays small.
+    let room_params = RoomParams::insulated_room();
+    let gap_k = 0.75;
+
+    // --- DF rooms: full worker loop with busy backlog (render farm). ---
+    let ladder = Arc::new(DvfsLadder::desktop_i7());
+    let mut df_series = TimeSeries::new();
+    let mut df_comfort = ComfortStats::standard();
+    let mut workers: Vec<WorkerSim> = (0..n_rooms)
+        .map(|i| {
+            WorkerSim::new(
+                i,
+                ladder.clone(),
+                HeatRegulator::for_qrad(),
+                Room::new(room_params, 17.0 + (i % 5) as f64 * 0.4),
+                ModulatingThermostat::new(schedule, gap_k),
+            )
+        })
+        .collect();
+    let mut t = SimTime::ZERO;
+    while t < SimTime::ZERO + span {
+        let outdoor = weather.outdoor_c(t);
+        let mut mean = 0.0;
+        for w in &mut workers {
+            w.control_tick(t, outdoor, 100); // the render farm keeps backlogs full
+            mean += w.room.temperature_c();
+        }
+        mean /= workers.len() as f64;
+        df_series.push(t, mean);
+        df_comfort.sample(t, mean);
+        t += step;
+    }
+
+    // --- Convector baseline in the same weather. ---
+    let conv = simulate(
+        ElectricHeater::convector_1kw(),
+        Room::new(room_params, 17.0),
+        schedule,
+        &weather,
+        span,
+        step,
+    );
+
+    let df_months = df_series.monthly(cal);
+    let conv_months = conv.temps.monthly(cal);
+    let mut table = Table::new("E1 / Figure 4 — mean room temperature, Nov..May (°C)")
+        .headers(&["month", "DF (Q.rad)", "electric convector", "paper band"]);
+    let mut months = Vec::new();
+    for (d, c) in df_months.iter().zip(&conv_months).take(7) {
+        months.push((d.month_name.to_string(), d.stats.mean(), c.stats.mean()));
+        table.row(&[
+            d.month_name.to_string(),
+            f2(d.stats.mean()),
+            f2(c.stats.mean()),
+            "17–26".to_string(),
+        ]);
+    }
+    (
+        Figure4 {
+            months,
+            df_in_band: df_comfort.in_band_fraction(),
+            convector_in_band: conv.comfort.in_band_fraction(),
+        },
+        table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_shape_holds() {
+        let (fig, table) = run(8, 0xF16);
+        assert_eq!(table.n_rows(), 7, "Nov..May = 7 months");
+        // Every monthly mean sits inside the figure's 17–26 °C axis and
+        // in the typical 19–23 °C band the plot shows.
+        for (m, df, conv) in &fig.months {
+            assert!(
+                (18.0..24.0).contains(df),
+                "{m}: DF mean {df} outside the observed band"
+            );
+            assert!(
+                (df - conv).abs() < 1.5,
+                "{m}: DF {df} vs convector {conv} — comfort parity"
+            );
+        }
+        // Comfort parity claim of §III-A.
+        assert!(fig.df_in_band > 0.85, "DF in-band {}", fig.df_in_band);
+        assert!(
+            (fig.df_in_band - fig.convector_in_band).abs() < 0.1,
+            "DF {} vs convector {}",
+            fig.df_in_band,
+            fig.convector_in_band
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! **E2 — PUE comparison** (§II-A).
+//!
+//! Paper claim: "CloudandHeat claims a PUE value of 1.026 in some of
+//! their datacenters. This is better than the one obtained by Google."
+//! A DF fleet's only facility overhead is a few watts of network gear
+//! per site; a classical datacenter pays ~55 % for cooling/distribution,
+//! a micro-DC ~30 %.
+
+use baselines::micro_dc::MicroDatacenter;
+use dfhw::energy::PueAccountant;
+use simcore::report::{f3, Table};
+use simcore::time::{SimDuration, SimTime};
+
+/// Headline results of E2.
+#[derive(Debug, Clone)]
+pub struct PueComparison {
+    pub df_pue: f64,
+    pub micro_dc_pue: f64,
+    pub cloud_pue: f64,
+}
+
+/// Run E2 with `n_servers` DF servers over `days` of winter operation.
+pub fn run(n_servers: usize, days: i64) -> (PueComparison, Table) {
+    assert!(n_servers > 0 && days > 0);
+    let t0 = SimTime::ZERO;
+    let end = t0 + SimDuration::from_days(days);
+
+    // DF fleet: mean 350 W IT per Q.rad (winter duty), 5 W network gear.
+    let mut df = PueAccountant::new(t0);
+    df.set_it_power(t0, n_servers as f64 * 350.0);
+    df.set_overhead_power(t0, n_servers as f64 * 5.0);
+
+    // Cloud datacenter: same IT power, 55 % overhead.
+    let mut cloud = PueAccountant::new(t0);
+    cloud.set_power_with_ratio(t0, n_servers as f64 * 350.0, 0.55);
+
+    // Micro-DC: same IT power, 30 % overhead.
+    let micro = MicroDatacenter::street_cabinet();
+    let mut micro_acc = PueAccountant::new(t0);
+    micro_acc.set_power_with_ratio(t0, n_servers as f64 * 350.0, micro.overhead_ratio);
+
+    let result = PueComparison {
+        df_pue: df.pue(end),
+        micro_dc_pue: micro_acc.pue(end),
+        cloud_pue: cloud.pue(end),
+    };
+    let mut table = Table::new("E2 — PUE comparison (30-day winter operation)")
+        .headers(&["fleet", "PUE", "paper reference"]);
+    table.row(&[
+        "DF fleet (Q.rads)".into(),
+        f3(result.df_pue),
+        "CloudandHeat: 1.026".into(),
+    ]);
+    table.row(&[
+        "micro-datacenter".into(),
+        f3(result.micro_dc_pue),
+        "—".into(),
+    ]);
+    table.row(&[
+        "cloud datacenter".into(),
+        f3(result.cloud_pue),
+        "industry ≈1.5+ (Google ≈1.1 best-in-class)".into(),
+    ]);
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let (r, _) = run(1_000, 30);
+        assert!(r.df_pue < r.micro_dc_pue);
+        assert!(r.micro_dc_pue < r.cloud_pue);
+        // DF lands in the CloudandHeat neighbourhood.
+        assert!(
+            (1.005..1.05).contains(&r.df_pue),
+            "DF PUE {} should be ≈1.026-class",
+            r.df_pue
+        );
+        assert!(r.cloud_pue > 1.4);
+    }
+}

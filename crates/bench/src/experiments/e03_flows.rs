@@ -1,0 +1,121 @@
+//! **E3 — the three flows' latency** (§II-C, Figure 3).
+//!
+//! Paper claims: direct local requests avoid the master hop that
+//! indirect requests pay ("they imply to pay an additional latency cost
+//! in the processing of requests"), and both beat the cloud round-trip
+//! by a wide margin. We run the same map-serving workload through the
+//! platform as EdgeDirect and EdgeIndirect, and through the all-cloud
+//! baseline.
+
+use baselines::CloudBaseline;
+use df3_core::{Platform, PlatformConfig};
+use simcore::report::{f2, pct, Table};
+use simcore::time::{SimDuration, SimTime};
+use simcore::RngStreams;
+use workloads::edge::{location_service_jobs, LocationServiceConfig};
+use workloads::Flow;
+
+/// Headline results of E3.
+#[derive(Debug, Clone)]
+pub struct FlowsLatency {
+    pub direct_p50_ms: f64,
+    pub direct_p99_ms: f64,
+    pub indirect_p50_ms: f64,
+    pub indirect_p99_ms: f64,
+    pub cloud_p50_ms: f64,
+    pub cloud_p99_ms: f64,
+    pub direct_attainment: f64,
+    pub indirect_attainment: f64,
+    pub cloud_attainment: f64,
+}
+
+fn platform_run(flow: Flow, hours: i64, seed: u64) -> (f64, f64, f64) {
+    let mut cfg = PlatformConfig::small_winter();
+    cfg.horizon = SimDuration::from_hours(hours);
+    cfg.seed = seed;
+    let jobs = location_service_jobs(
+        LocationServiceConfig::map_serving(flow),
+        cfg.horizon,
+        &RngStreams::new(seed),
+        0,
+    );
+    let out = Platform::new(cfg).run(&jobs);
+    (
+        out.stats.edge_response_ms.p50(),
+        out.stats.edge_response_ms.p99(),
+        out.stats.edge_attainment(),
+    )
+}
+
+/// Run E3 over `hours` of traffic.
+pub fn run(hours: i64, seed: u64) -> (FlowsLatency, Table) {
+    let (dp50, dp99, datt) = platform_run(Flow::EdgeDirect, hours, seed);
+    let (ip50, ip99, iatt) = platform_run(Flow::EdgeIndirect, hours, seed);
+
+    // Cloud: same traffic shape, direct flavour (flow field is ignored by
+    // the cloud model — everything crosses the WAN).
+    let jobs = location_service_jobs(
+        LocationServiceConfig::map_serving(Flow::EdgeDirect),
+        SimDuration::from_hours(hours),
+        &RngStreams::new(seed),
+        0,
+    );
+    let cloud = CloudBaseline::standard(1024).run(
+        &jobs,
+        SimTime::ZERO + SimDuration::from_hours(hours + 1),
+    );
+
+    let result = FlowsLatency {
+        direct_p50_ms: dp50,
+        direct_p99_ms: dp99,
+        indirect_p50_ms: ip50,
+        indirect_p99_ms: ip99,
+        cloud_p50_ms: cloud.edge_response_ms.p50(),
+        cloud_p99_ms: cloud.edge_response_ms.p99(),
+        direct_attainment: datt,
+        indirect_attainment: iatt,
+        cloud_attainment: cloud.edge_attainment(),
+    };
+    let mut table = Table::new("E3 — local request flows vs cloud (map serving, 300 ms budget)")
+        .headers(&["path", "p50 (ms)", "p99 (ms)", "deadline attainment"]);
+    table.row(&[
+        "edge, direct".into(),
+        f2(result.direct_p50_ms),
+        f2(result.direct_p99_ms),
+        pct(result.direct_attainment),
+    ]);
+    table.row(&[
+        "edge, indirect (master hop)".into(),
+        f2(result.indirect_p50_ms),
+        f2(result.indirect_p99_ms),
+        pct(result.indirect_attainment),
+    ]);
+    table.row(&[
+        "cloud (WAN)".into(),
+        f2(result.cloud_p50_ms),
+        f2(result.cloud_p99_ms),
+        pct(result.cloud_attainment),
+    ]);
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_order_as_the_paper_argues() {
+        let (r, _) = run(2, 0xE3);
+        // Indirect pays the master hop: strictly slower than direct.
+        assert!(
+            r.indirect_p50_ms > r.direct_p50_ms,
+            "indirect {} ≤ direct {}",
+            r.indirect_p50_ms,
+            r.direct_p50_ms
+        );
+        // Both local flows beat the cloud WAN round-trip clearly.
+        assert!(r.cloud_p50_ms > 1.5 * r.indirect_p50_ms);
+        assert!(r.direct_attainment > 0.95);
+        assert!(r.indirect_attainment > 0.95);
+    }
+}

@@ -1,0 +1,143 @@
+//! **E5 — peak management policies** (§III-B).
+//!
+//! "In the case there are too many DCC requests, it might be impossible
+//! to schedule the processing of an edge request (the cluster is
+//! full)." The options: preemption, vertical offloading, horizontal
+//! offloading, or delaying. We inject a 10× DCC peak into one busy
+//! afternoon and compare the policies end to end.
+
+use df3_core::{Platform, PlatformConfig};
+use simcore::report::{f2, pct, Table};
+use simcore::time::{SimDuration, SimTime};
+use simcore::RngStreams;
+use workloads::dcc::{boinc_jobs, BoincConfig};
+use workloads::edge::{location_service_jobs, LocationServiceConfig};
+use workloads::peak::{inject_peak, Peak};
+use workloads::Flow;
+
+/// Outcome of one policy run.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    pub name: &'static str,
+    pub edge_attainment: f64,
+    pub edge_p99_ms: f64,
+    pub dcc_mean_slowdown: f64,
+    pub dcc_completed: u64,
+    pub preemptions: u64,
+    pub vertical: u64,
+    pub horizontal: u64,
+}
+
+fn policies() -> Vec<(&'static str, sched::PeakPolicy)> {
+    vec![
+        ("delay", sched::PeakPolicy::AlwaysDelay),
+        ("preempt", sched::PeakPolicy::PreemptFirst),
+        ("vertical", sched::PeakPolicy::VerticalFirst),
+        (
+            "horizontal",
+            sched::PeakPolicy::HorizontalFirst {
+                max_sibling_util: 0.9,
+            },
+        ),
+        ("hybrid", sched::PeakPolicy::Hybrid),
+    ]
+}
+
+/// Run E5: a 10× peak between hour 2 and hour 4 of a `hours`-hour day.
+pub fn run(hours: i64, peak_factor: f64, seed: u64) -> (Vec<PolicyOutcome>, Table) {
+    let horizon = SimDuration::from_hours(hours);
+    let mut boinc = BoincConfig::standard();
+    boinc.tasks_per_hour = 400.0;
+    boinc.mean_work_gops = 20_000.0;
+    let base = boinc_jobs(boinc, horizon, &RngStreams::new(seed), 0);
+    let peaked = inject_peak(
+        &base,
+        Peak {
+            start: SimTime::ZERO + SimDuration::from_hours(2),
+            duration: SimDuration::from_hours(2),
+            factor: peak_factor,
+        },
+        &RngStreams::new(seed),
+        5_000_000,
+    );
+    let edge = location_service_jobs(
+        LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+        horizon,
+        &RngStreams::new(seed),
+        10_000_000,
+    );
+    let jobs = peaked.merge(edge);
+
+    let mut outcomes = Vec::new();
+    let mut table = Table::new(&format!(
+        "E5 — peak management under a {peak_factor:.0}× DCC peak"
+    ))
+    .headers(&[
+        "policy",
+        "edge attain",
+        "edge p99 (ms)",
+        "DCC slowdown",
+        "DCC done",
+        "preempts",
+        "vert",
+        "horiz",
+    ]);
+    for (name, policy) in policies() {
+        let mut cfg = PlatformConfig::small_winter();
+        cfg.horizon = horizon;
+        cfg.peak_policy = policy;
+        cfg.seed = seed;
+        cfg.arch = df3_core::ArchClass::SharedWorkers {
+            switch_cost: SimDuration::from_millis(100),
+        };
+        let out = Platform::new(cfg).run(&jobs);
+        let o = PolicyOutcome {
+            name,
+            edge_attainment: out.stats.edge_attainment(),
+            edge_p99_ms: out.stats.edge_response_ms.p99(),
+            dcc_mean_slowdown: out.stats.dcc_slowdown.mean(),
+            dcc_completed: out.stats.dcc_completed.get(),
+            preemptions: out.stats.preemptions.get(),
+            vertical: out.stats.offload_vertical.get(),
+            horizontal: out.stats.offload_horizontal.get(),
+        };
+        table.row(&[
+            o.name.into(),
+            pct(o.edge_attainment),
+            f2(o.edge_p99_ms),
+            f2(o.dcc_mean_slowdown),
+            o.dcc_completed.to_string(),
+            o.preemptions.to_string(),
+            o.vertical.to_string(),
+            o.horizontal.to_string(),
+        ]);
+        outcomes.push(o);
+    }
+    (outcomes, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_policies_beat_pure_delay_for_edge() {
+        let (outcomes, _) = run(6, 10.0, 0xE5);
+        let get = |n: &str| outcomes.iter().find(|o| o.name == n).unwrap().clone();
+        let delay = get("delay");
+        let hybrid = get("hybrid");
+        let vertical = get("vertical");
+        assert!(
+            hybrid.edge_attainment >= delay.edge_attainment,
+            "hybrid {} vs delay {}",
+            hybrid.edge_attainment,
+            delay.edge_attainment
+        );
+        assert!(hybrid.edge_attainment > 0.85);
+        // Vertical offloading moves DCC work to the DC, so the DCC side
+        // completes more than pure delaying during the peak.
+        assert!(vertical.dcc_completed >= delay.dcc_completed);
+        assert!(vertical.vertical > 0, "vertical policy must offload");
+        assert!(hybrid.preemptions > 0, "hybrid must preempt for edge");
+    }
+}

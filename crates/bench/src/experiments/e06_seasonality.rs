@@ -1,0 +1,126 @@
+//! **E6 — seasonality of compute capacity** (§III-C, §IV).
+//!
+//! "In winter, the heat demand increases the computing power that is
+//! then reduced in the summer." We run the DF3 platform for a full
+//! simulated year under a steady DCC stream and report, per month, the
+//! heat-budgeted core capacity, the share of DCC work that overflowed
+//! to the datacenter (the hybrid design of §III-A), and the smart-grid
+//! manager's capacity offers.
+
+use df3_core::smartgrid::{monthly_offers, seasonality_ratio, FleetProfile};
+use df3_core::{Platform, PlatformConfig};
+use predict::ThermoFit;
+use simcore::report::{f2, Table};
+use simcore::time::{Calendar, SimDuration};
+use simcore::RngStreams;
+use workloads::dcc::{boinc_jobs, BoincConfig};
+
+/// Headline results of E6.
+#[derive(Debug, Clone)]
+pub struct Seasonality {
+    /// (month name, mean usable cores, mean demand) per month.
+    pub monthly_cores: Vec<(String, f64, f64)>,
+    /// Winter/summer usable-core ratio (measured).
+    pub measured_ratio: f64,
+    /// Winter/summer ratio from the smart-grid offers (predicted).
+    pub offered_ratio: f64,
+    /// Year-long share of DCC work served by the datacenter.
+    pub dc_share: f64,
+}
+
+/// Run E6. `workers_per_cluster` × 4 clusters; `scale` shrinks the DCC
+/// stream. A full year of control ticks is simulated.
+pub fn run(workers_per_cluster: usize, seed: u64) -> (Seasonality, Table) {
+    let mut cfg = PlatformConfig::small_winter();
+    cfg.calendar = Calendar::JANUARY_EPOCH;
+    cfg.horizon = SimDuration::YEAR;
+    cfg.workers_per_cluster = workers_per_cluster;
+    cfg.control_period = SimDuration::from_secs(1_800);
+    cfg.peak_policy = sched::PeakPolicy::VerticalFirst;
+    cfg.datacenter_cores = 256;
+    cfg.seed = seed;
+
+    // A steady DCC stream the fleet can absorb in winter but not summer.
+    let mut boinc = BoincConfig::standard();
+    boinc.tasks_per_hour = 60.0;
+    boinc.mean_work_gops = 50_000.0;
+    let jobs = boinc_jobs(boinc, cfg.horizon, &RngStreams::new(seed), 0);
+    let out = Platform::new(cfg).run(&jobs);
+
+    let cores_monthly = out.stats.usable_cores.monthly(Calendar::JANUARY_EPOCH);
+    let demand_monthly = out.stats.heat_demand.monthly(Calendar::JANUARY_EPOCH);
+    let mut monthly_cores = Vec::new();
+    let mut table = Table::new("E6 — heat-driven capacity by month").headers(&[
+        "month",
+        "mean usable cores",
+        "mean heat demand",
+        "offered core-h (smart-grid)",
+    ]);
+
+    // Smart-grid offers from a reference thermosensitivity fit.
+    let fit = ThermoFit {
+        base_c: 16.0,
+        slope_w_per_k: (workers_per_cluster * 4) as f64 * 500.0 / 12.0, // saturates ≈ 12 K deficit
+        intercept_w: 0.0,
+        rmse_w: 0.0,
+        r2: 1.0,
+    };
+    const PARIS_MONTHLY: [f64; 12] = [
+        4.5, 5.5, 8.5, 11.5, 15.0, 18.0, 19.5, 19.5, 16.5, 12.5, 8.0, 5.5,
+    ];
+    let offers = monthly_offers(&fit, &PARIS_MONTHLY, FleetProfile::qrad_fleet(workers_per_cluster * 4));
+
+    for (m, (c, d)) in cores_monthly.iter().zip(&demand_monthly).enumerate().take(12) {
+        monthly_cores.push((c.month_name.to_string(), c.stats.mean(), d.stats.mean()));
+        table.row(&[
+            c.month_name.to_string(),
+            f2(c.stats.mean()),
+            f2(d.stats.mean()),
+            f2(offers[m].core_hours),
+        ]);
+    }
+
+    let mean_of = |months: &[usize]| -> f64 {
+        months
+            .iter()
+            .map(|&m| cores_monthly[m].stats.mean())
+            .sum::<f64>()
+            / months.len() as f64
+    };
+    let winter = mean_of(&[0, 1, 11]);
+    let summer = mean_of(&[5, 6, 7]);
+    let result = Seasonality {
+        monthly_cores,
+        measured_ratio: if summer > 0.0 { winter / summer } else { f64::INFINITY },
+        offered_ratio: seasonality_ratio(&offers),
+        dc_share: out.stats.dc_share(),
+    };
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winter_capacity_dwarfs_summer() {
+        let (r, table) = run(4, 0xE6);
+        assert_eq!(table.n_rows(), 12);
+        assert!(
+            r.measured_ratio > 3.0,
+            "winter/summer usable-core ratio {} should be large",
+            r.measured_ratio
+        );
+        assert!(r.offered_ratio > 3.0);
+        // Some DCC work must overflow to the datacenter (summer).
+        assert!(
+            r.dc_share > 0.05,
+            "hybrid overflow share {} should be visible",
+            r.dc_share
+        );
+        // January capacity must beat July's.
+        let jan = r.monthly_cores[0].1;
+        let jul = r.monthly_cores[6].1;
+        assert!(jan > 2.0 * jul, "Jan {jan} vs Jul {jul}");
+    }
+}

@@ -1,0 +1,140 @@
+//! **E10 — seasonal economics** (§IV).
+//!
+//! "Data furnace introduces another dimension to classical cloud
+//! pricing models: the seasonality." We price each month's capacity
+//! with the supply-indexed pricer, compare a flat SLA against a
+//! seasonal SLA on the same delivery profile, and account the host
+//! subsidy ("the hosts of DF servers do not pay electricity").
+
+use df3_core::smartgrid::{monthly_offers, FleetProfile};
+use economics::compensation::HostLedger;
+use economics::pricing::CapacityPricer;
+use economics::sla::{MonthOutcome, SlaReport, SlaTarget};
+use economics::tariff::Tariff;
+use predict::ThermoFit;
+use simcore::report::{f2, Table};
+use simcore::time::{SimDuration, SimTime};
+
+/// Headline results of E10.
+#[derive(Debug, Clone)]
+pub struct EconomicsResult {
+    /// (month index, €/core-h) across the year.
+    pub monthly_price: Vec<f64>,
+    /// Winter (Jan) vs summer (Jul) price ratio.
+    pub price_ratio_summer_over_winter: f64,
+    /// Penalty under a flat SLA vs a seasonal SLA, €.
+    pub flat_penalty_eur: f64,
+    pub seasonal_penalty_eur: f64,
+    /// Host's annual heating subsidy, €.
+    pub host_gain_eur: f64,
+}
+
+/// Run E10 for a fleet of `n_servers` Q.rads serving a flat demand of
+/// `demand_core_h` per month.
+pub fn run(n_servers: usize, demand_core_h: f64) -> (EconomicsResult, Table) {
+    let fleet = FleetProfile::qrad_fleet(n_servers);
+    let fit = ThermoFit {
+        base_c: 16.0,
+        slope_w_per_k: fleet.fleet_power_w() / 10.0,
+        intercept_w: 0.0,
+        rmse_w: 0.0,
+        r2: 1.0,
+    };
+    const PARIS: [f64; 12] = [
+        4.5, 5.5, 8.5, 11.5, 15.0, 18.0, 19.5, 19.5, 16.5, 12.5, 8.0, 5.5,
+    ];
+    let offers = monthly_offers(&fit, &PARIS, fleet);
+    let pricer = CapacityPricer::standard();
+
+    let mut monthly_price = Vec::new();
+    // The operator commits what it expects to *sell*: the flat SLA
+    // promises the customer demand every month (the classical cloud
+    // promise); the seasonal SLA promises min(heat-driven supply,
+    // demand) — honest about summer.
+    let mut flat = SlaReport::new(SlaTarget::flat(demand_core_h));
+    let mut seasonal_target = SlaTarget::flat(demand_core_h);
+    for (m, offer) in offers.iter().enumerate() {
+        seasonal_target.monthly_capacity_core_h[m] = offer.core_hours.min(demand_core_h);
+    }
+    let mut seasonal = SlaReport::new(seasonal_target);
+    let mut table = Table::new("E10 — seasonal pricing and SLA attainment").headers(&[
+        "month",
+        "supply (core-h)",
+        "price (€/core-h)",
+        "delivered (core-h)",
+    ]);
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    for (m, offer) in offers.iter().enumerate() {
+        let quote = pricer.quote(offer.core_hours, demand_core_h);
+        monthly_price.push(quote.price_eur_core_h);
+        let delivered = quote.sold_core_h;
+        let outcome = MonthOutcome {
+            month: m,
+            edge_total: 10_000,
+            edge_met: 9_950,
+            delivered_core_h: delivered,
+        };
+        flat.push(outcome);
+        seasonal.push(outcome);
+        table.row(&[
+            MONTHS[m].into(),
+            f2(offer.core_hours),
+            format!("{:.4}", quote.price_eur_core_h),
+            f2(delivered),
+        ]);
+    }
+
+    // Host subsidy: a winter month of one Q.rad at typical duty.
+    let mut ledger = HostLedger::default();
+    let host_tariff = Tariff::france();
+    let op_tariff = Tariff::flat(0.15);
+    for (m, offer) in offers.iter().enumerate() {
+        let kwh = offer.duty * 0.5 * 24.0 * 30.0; // 500 W × duty × a month
+        ledger.record(
+            SimTime::ZERO + SimDuration::from_days(m as i64 * 30 + 10),
+            kwh,
+            &host_tariff,
+            &op_tariff,
+        );
+    }
+
+    let result = EconomicsResult {
+        price_ratio_summer_over_winter: monthly_price[6] / monthly_price[0],
+        monthly_price,
+        flat_penalty_eur: flat.penalty_eur(),
+        seasonal_penalty_eur: seasonal.penalty_eur(),
+        host_gain_eur: ledger.host_gain_eur(),
+    };
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summer_scarcity_raises_prices() {
+        let (r, table) = run(500, 2_000_000.0);
+        assert_eq!(table.n_rows(), 12);
+        assert!(
+            r.price_ratio_summer_over_winter > 2.0,
+            "summer/winter price ratio {}",
+            r.price_ratio_summer_over_winter
+        );
+        // The seasonal SLA avoids the flat SLA's summer shortfall penalties.
+        assert!(
+            r.seasonal_penalty_eur < r.flat_penalty_eur,
+            "seasonal {} vs flat {}",
+            r.seasonal_penalty_eur,
+            r.flat_penalty_eur
+        );
+        // The host deal is worth real money over a heating year.
+        assert!(
+            r.host_gain_eur > 50.0,
+            "annual host gain {} €",
+            r.host_gain_eur
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! **E12 — the §II-B hardware catalogue** (Figures 1 and 2 are product
+//! photos; their *specifications* are what the text states).
+//!
+//! | class | paper spec |
+//! |---|---|
+//! | Q.rad | 3–4 CPUs, 500 W |
+//! | e-radiator | 1000 W, dual pipe |
+//! | crypto-heater | 650 W, 2 GPUs |
+//! | Asperitas AIC24 | 200 CPUs, 10 Gbps, 20 kW |
+//! | Stimergy boiler | 1–4 kW, 20–40 servers |
+
+use dfhw::servers::{ServerSpec, ServerState};
+use simcore::report::{f2, Table};
+
+/// One validated hardware row.
+#[derive(Debug, Clone)]
+pub struct HardwareRow {
+    pub name: &'static str,
+    pub n_cpus: usize,
+    pub n_cores: usize,
+    pub nameplate_w: f64,
+    pub model_max_w: f64,
+    pub network_gbps: f64,
+    pub peak_gops: f64,
+}
+
+/// Run E12: build every class and measure its model at full load.
+pub fn run() -> (Vec<HardwareRow>, Table) {
+    let specs: Vec<ServerSpec> = vec![
+        ServerSpec::qrad(),
+        ServerSpec::eradiator(),
+        ServerSpec::crypto_heater(),
+        ServerSpec::asperitas_boiler(),
+        ServerSpec::stimergy_boiler(30),
+        ServerSpec::datacenter_node(),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Table::new("E12 — server classes of §II-B (model vs paper nameplate)")
+        .headers(&[
+            "class",
+            "CPUs",
+            "cores",
+            "nameplate (W)",
+            "model max (W)",
+            "uplink (Gb/s)",
+            "peak Gops",
+        ]);
+    for spec in specs {
+        // Exercise the dynamic model too: full load must track nameplate.
+        let mut state = ServerState::new(spec.clone());
+        state.set_all_cores(spec.ladder.n_states() - 1, 1.0);
+        for g in 0..spec.n_gpus {
+            state.set_gpu_util(g, 1.0);
+        }
+        let row = HardwareRow {
+            name: spec.class.name(),
+            n_cpus: spec.n_cpus,
+            n_cores: spec.n_cores(),
+            nameplate_w: spec.nameplate_w,
+            model_max_w: state.power_w(),
+            network_gbps: spec.network_gbps,
+            peak_gops: spec.peak_gops(),
+        };
+        table.row(&[
+            row.name.into(),
+            row.n_cpus.to_string(),
+            row.n_cores.to_string(),
+            f2(row.nameplate_w),
+            f2(row.model_max_w),
+            f2(row.network_gbps),
+            f2(row.peak_gops),
+        ]);
+        rows.push(row);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_tracks_its_nameplate() {
+        let (rows, table) = run();
+        assert_eq!(table.n_rows(), 6);
+        for r in &rows {
+            let ratio = r.model_max_w / r.nameplate_w;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{}: model {} vs nameplate {} (ratio {ratio:.2})",
+                r.name,
+                r.model_max_w,
+                r.nameplate_w
+            );
+        }
+        // Spot checks against the paper's exact numbers.
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(by_name("Q.rad").nameplate_w, 500.0);
+        assert_eq!(by_name("e-radiator").nameplate_w, 1_000.0);
+        assert_eq!(by_name("crypto-heater").nameplate_w, 650.0);
+        assert_eq!(by_name("Asperitas AIC24").nameplate_w, 20_000.0);
+        assert_eq!(by_name("Asperitas AIC24").n_cpus, 200);
+        assert_eq!(by_name("Asperitas AIC24").network_gbps, 10.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! **E17 — crypto-heater economics across a year** (§II-B.3, §IV).
+//!
+//! A Qarnot QC1 (650 W, 2 GPUs) mines all year; its heat displaces a
+//! heating bill only when the building wants heat. In a lean coin
+//! market, raw mining loses money — the heat credit flips the winter
+//! months positive, which is the whole reason crypto-*heaters* exist.
+
+use economics::mining::{account_day, CoinMarket, MiningRig};
+use economics::tariff::Tariff;
+use simcore::report::{f2, Table};
+use simcore::time::{Calendar, SimDuration, SimTime};
+use simcore::RngStreams;
+use thermal::weather::{Weather, WeatherConfig};
+
+/// Headline results of E17.
+#[derive(Debug, Clone)]
+pub struct MiningYear {
+    /// (month, rig margin €, heater margin €) per calendar month.
+    pub monthly: Vec<(usize, f64, f64)>,
+    /// Annual totals, €.
+    pub rig_annual_eur: f64,
+    pub heater_annual_eur: f64,
+    /// Months where the heat credit flips the sign.
+    pub months_rescued: usize,
+}
+
+/// Run E17 with a lean market over one weather year.
+pub fn run(seed: u64) -> (MiningYear, Table) {
+    let cal = Calendar::JANUARY_EPOCH;
+    let weather = Weather::generate(
+        WeatherConfig::paris(cal),
+        SimDuration::YEAR,
+        &RngStreams::new(seed),
+    );
+    let rig = MiningRig::qarnot_qc1();
+    let market = CoinMarket::lean();
+    let tariff = Tariff::flat(0.18);
+
+    let mut monthly = vec![(0usize, 0.0f64, 0.0f64); 12];
+    for d in 0..365 {
+        let t = SimTime::ZERO + SimDuration::from_days(d) + SimDuration::from_hours(12);
+        // Heat utilisation from the thermosensitivity threshold: full
+        // below 10 °C, fading to zero at 16 °C.
+        let outdoor = weather.outdoor_c(t);
+        let util = ((16.0 - outdoor) / 6.0).clamp(0.0, 1.0);
+        let day = account_day(rig, market, &tariff, t, util);
+        let m = cal.month_index(t).calendar as usize;
+        monthly[m].0 = m;
+        monthly[m].1 += day.rig_margin_eur();
+        monthly[m].2 += day.heater_margin_eur();
+    }
+
+    let rig_annual: f64 = monthly.iter().map(|m| m.1).sum();
+    let heater_annual: f64 = monthly.iter().map(|m| m.2).sum();
+    let rescued = monthly.iter().filter(|m| m.1 < 0.0 && m.2 > 0.0).count();
+
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    let mut table = Table::new("E17 — crypto-heater vs plain rig (lean market, €/month)")
+        .headers(&["month", "rig margin", "crypto-heater margin"]);
+    for m in &monthly {
+        table.row(&[MONTHS[m.0].into(), f2(m.1), f2(m.2)]);
+    }
+    (
+        MiningYear {
+            monthly,
+            rig_annual_eur: rig_annual,
+            heater_annual_eur: heater_annual,
+            months_rescued: rescued,
+        },
+        table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heat_credit_flips_winter_months() {
+        let (r, table) = run(0xE17);
+        assert_eq!(table.n_rows(), 12);
+        // A lean market: the plain rig loses money over the year.
+        assert!(r.rig_annual_eur < 0.0, "rig annual {}", r.rig_annual_eur);
+        // The crypto-heater does clearly better…
+        assert!(
+            r.heater_annual_eur > r.rig_annual_eur + 50.0,
+            "heater {} vs rig {}",
+            r.heater_annual_eur,
+            r.rig_annual_eur
+        );
+        // …by rescuing several heating-season months.
+        assert!(
+            r.months_rescued >= 3,
+            "months rescued by the heat credit: {}",
+            r.months_rescued
+        );
+        // Summer months are identical for both (no heat demand).
+        let jul = &r.monthly[6];
+        assert!((jul.1 - jul.2).abs() < 1.0, "July: {} vs {}", jul.1, jul.2);
+    }
+}

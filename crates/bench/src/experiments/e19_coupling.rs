@@ -1,0 +1,91 @@
+//! **E19 — application suitability: tightly-coupled vs embarrassing**
+//! (conclusion; §II-C footnote 7).
+//!
+//! "Tightly coupled applications will have poor network performance on
+//! data furnace systems. Compute intensive jobs with a huge running
+//! time are also not appropriate. … Finally, storage services are not
+//! interesting because they do not produce heat." We sweep rank counts
+//! for a CG-class solver on DF metro fiber vs datacenter 10 GbE, show
+//! the embarrassingly-parallel contrast, and tabulate the heat-per-watt
+//! argument against storage.
+
+use dfnet::collective::BspApp;
+use dfnet::link::Link;
+use dfnet::protocol::Protocol;
+use simcore::report::{f2, Table};
+
+/// Headline results of E19.
+#[derive(Debug, Clone)]
+pub struct CouplingResult {
+    /// (ranks, DF speedup, DC speedup) for the CG solver.
+    pub cg_speedups: Vec<(usize, f64, f64)>,
+    /// Best useful rank count per fabric.
+    pub df_scaling_limit: usize,
+    pub dc_scaling_limit: usize,
+    /// Embarrassing-parallel speedup at the largest rank count (DF).
+    pub embarrassing_df_speedup: f64,
+    /// Heat output per watt of *useful service* for compute vs storage.
+    pub compute_heat_per_service_w: f64,
+    pub storage_heat_per_service_w: f64,
+}
+
+/// Run E19.
+pub fn run() -> (CouplingResult, Table) {
+    let df = Link::new(Protocol::Fiber).with_extra_latency(0.0015); // inter-home metro path
+    let dc = Link::new(Protocol::Ethernet10G);
+    let gops = 3.0;
+    let app = BspApp::cg_solver();
+    let ranks = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    let mut cg = Vec::new();
+    let mut table = Table::new("E19 — CG-class solver speedup: DF fiber vs datacenter 10 GbE")
+        .headers(&["ranks", "DF speedup", "DC speedup"]);
+    for &p in &ranks {
+        let s_df = app.speedup(&df, p, gops);
+        let s_dc = app.speedup(&dc, p, gops);
+        table.row(&[p.to_string(), f2(s_df), f2(s_dc)]);
+        cg.push((p, s_df, s_dc));
+    }
+
+    let embarrassing = BspApp::embarrassing(1_000_000.0);
+    let emb_df = embarrassing.speedup(&df, 128, gops);
+
+    // Heat per unit of service: a compute server converts ~100 % of its
+    // wall power to heat while delivering its service; a 24-disk storage
+    // node draws ~180 W to serve content — 0.36 W of heat per W of
+    // (500 W-normalised) service slot vs 1.0 for compute, and its heat
+    // cannot be modulated by demand. (Footnote 7's point.)
+    let compute_heat = 1.0;
+    let storage_heat = 180.0 / 500.0;
+
+    let result = CouplingResult {
+        cg_speedups: cg,
+        df_scaling_limit: app.scaling_limit(&df, &ranks, gops),
+        dc_scaling_limit: app.scaling_limit(&dc, &ranks, gops),
+        embarrassing_df_speedup: emb_df,
+        compute_heat_per_service_w: compute_heat,
+        storage_heat_per_service_w: storage_heat,
+    };
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suitability_matches_the_conclusion() {
+        let (r, table) = run();
+        assert_eq!(table.n_rows(), 8);
+        // The solver stalls early on DF but scales in the DC.
+        assert!(r.df_scaling_limit <= 64, "DF limit {}", r.df_scaling_limit);
+        assert!(r.dc_scaling_limit >= 128, "DC limit {}", r.dc_scaling_limit);
+        let (p, s_df, s_dc) = *r.cg_speedups.last().unwrap();
+        assert_eq!(p, 128);
+        assert!(s_dc > 4.0 * s_df, "at P=128: DC {s_dc:.1} vs DF {s_df:.1}");
+        // Embarrassing work is the DF sweet spot.
+        assert!(r.embarrassing_df_speedup > 120.0);
+        // Storage produces a fraction of compute's heat per service slot.
+        assert!(r.storage_heat_per_service_w < 0.5 * r.compute_heat_per_service_w);
+    }
+}

@@ -1,0 +1,21 @@
+//! The experiment suite (see `DESIGN.md` for the paper-source index).
+
+pub mod e01_figure4;
+pub mod e02_pue;
+pub mod e03_flows;
+pub mod e04_arch;
+pub mod e05_offload;
+pub mod e06_seasonality;
+pub mod e07_prediction;
+pub mod e08_uhi;
+pub mod e09_render_year;
+pub mod e10_economics;
+pub mod e11_alarm;
+pub mod e12_hardware;
+pub mod e13_regulator;
+pub mod e14_alternatives;
+pub mod e15_boilers;
+pub mod e16_resilience;
+pub mod e17_mining;
+pub mod e18_aging;
+pub mod e19_coupling;

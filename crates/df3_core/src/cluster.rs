@@ -1,0 +1,516 @@
+//! A gateway-fronted cluster of DF workers.
+//!
+//! Implements both §III-B architectures over the same worker pool:
+//! class A shares every worker between flows (context-switch cost on
+//! alternation), class B dedicates `edge_workers` to edge traffic. The
+//! cluster owns the edge (EDF) and DCC (FIFO) ready queues of its
+//! gateways and exposes the load snapshot the peak policies consume.
+
+use crate::config::ArchClass;
+use crate::regulator::HeatRegulator;
+use crate::worker::WorkerSim;
+use dfhw::dvfs::DvfsLadder;
+use sched::queue::{Discipline, ReadyQueue};
+use sched::ClusterLoad;
+use simcore::time::{SimDuration, SimTime};
+use std::sync::Arc;
+use thermal::room::{Room, RoomParams};
+use thermal::thermostat::{ModulatingThermostat, SetpointSchedule};
+use workloads::{Job, JobId};
+
+/// Result of a local dispatch attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dispatch {
+    /// Started on `worker`; completes at the given time.
+    Started { worker: usize, finish: SimTime },
+    /// No eligible worker can take it right now.
+    Full,
+}
+
+/// One cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    pub id: usize,
+    pub arch: ArchClass,
+    workers: Vec<WorkerSim>,
+    pub edge_queue: ReadyQueue,
+    pub dcc_queue: ReadyQueue,
+}
+
+impl ClusterSim {
+    /// Build a cluster of `n_workers` Q.rads with per-room thermal
+    /// diversity (initial temperatures spread around 17 °C so rooms are
+    /// not artificially synchronised).
+    pub fn new(id: usize, n_workers: usize, arch: ArchClass, setpoint_c: f64) -> Self {
+        assert!(n_workers > 0);
+        let ladder = Arc::new(DvfsLadder::desktop_i7());
+        let workers = (0..n_workers)
+            .map(|w| {
+                let initial_c = 16.0 + ((id * 31 + w * 7) % 40) as f64 / 20.0; // 16.0..18.0
+                let mut ws = WorkerSim::new(
+                    w,
+                    ladder.clone(),
+                    HeatRegulator::for_qrad(),
+                    Room::new(RoomParams::typical_apartment_room(), initial_c),
+                    ModulatingThermostat::new(
+                        SetpointSchedule {
+                            day_c: setpoint_c,
+                            night_c: setpoint_c - 3.0,
+                            day_start_h: 6.0,
+                            night_start_h: 22.0,
+                        },
+                        1.5,
+                    ),
+                );
+                if let ArchClass::DedicatedEdge { edge_workers, .. } = arch {
+                    ws.edge_dedicated = w < edge_workers;
+                }
+                ws
+            })
+            .collect();
+        ClusterSim {
+            id,
+            arch,
+            workers,
+            edge_queue: ReadyQueue::new(Discipline::Edf),
+            dcc_queue: ReadyQueue::new(Discipline::Fifo),
+        }
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn worker(&self, w: usize) -> &WorkerSim {
+        &self.workers[w]
+    }
+
+    pub fn worker_mut(&mut self, w: usize) -> &mut WorkerSim {
+        &mut self.workers[w]
+    }
+
+    fn switch_cost(&self) -> SimDuration {
+        match self.arch {
+            ArchClass::SharedWorkers { switch_cost } => switch_cost,
+            ArchClass::DedicatedEdge { .. } => SimDuration::ZERO,
+        }
+    }
+
+    /// Whether worker `w` may run `job` under the architecture.
+    fn eligible(&self, w: usize, job: &Job) -> bool {
+        match self.arch {
+            ArchClass::SharedWorkers { .. } => true,
+            ArchClass::DedicatedEdge { .. } => self.workers[w].edge_dedicated == job.is_edge(),
+        }
+    }
+
+    /// Minimum width a DCC job may be shrunk to (moldable tasks, ref
+    /// [14]): wide batches of independent frames time-share fewer cores
+    /// when the heat budget is tight. Edge jobs stay rigid — shrinking
+    /// them would stretch a deadline-bound computation.
+    const MOLDABLE_MIN_CORES: usize = 1;
+
+    /// Moldable width for `job` on a worker with `free` budgeted cores:
+    /// `None` if the job cannot be placed at all.
+    fn moldable_width(job: &Job, free: usize) -> Option<usize> {
+        if free >= job.cores {
+            Some(job.cores)
+        } else if !job.is_edge() && free >= Self::MOLDABLE_MIN_CORES {
+            Some(free)
+        } else {
+            None
+        }
+    }
+
+    /// Try to start `job` now. Tries workers with free budgeted cores
+    /// first (preferring ones already serving the job's flow, to avoid
+    /// switch costs); failing that, wakes an eligible idle worker via
+    /// its regulator (the board may be off between control ticks).
+    /// DCC jobs are **moldable**: they shrink to the available width.
+    pub fn try_dispatch(&mut self, now: SimTime, outdoor_c: f64, job: Job) -> Dispatch {
+        let cost = self.switch_cost();
+        // Pass 1: free capacity under the current budgets.
+        let mut best: Option<(bool, usize, usize)> = None; // (flow match, free, idx)
+        for (i, w) in self.workers.iter().enumerate() {
+            if !self.eligible(i, &job) || Self::moldable_width(&job, w.free_cores()).is_none() {
+                continue;
+            }
+            let matches = match self.arch {
+                ArchClass::SharedWorkers { .. } => {
+                    // Prefer a worker whose last job had the same flow.
+                    w.running().last().map(|s| s.job.is_edge()) == Some(job.is_edge())
+                }
+                _ => true,
+            };
+            // Maximise (flow match, free cores); ties go to the lowest
+            // index, which the strict `>` on the pair already ensures.
+            let better = match best {
+                None => true,
+                Some((m, f, _)) => (matches, w.free_cores()) > (m, f),
+            };
+            if better {
+                best = Some((matches, w.free_cores(), i));
+            }
+        }
+        if let Some((_, _, i)) = best {
+            let mut placed = job;
+            placed.cores = Self::moldable_width(&job, self.workers[i].free_cores())
+                .expect("width checked");
+            let finish = self.workers[i]
+                .dispatch(now, placed, cost)
+                .expect("free_cores checked");
+            return Dispatch::Started { worker: i, finish };
+        }
+        // Pass 2: wake an eligible worker whose board is budget-limited
+        // but whose thermostat still demands heat.
+        for i in 0..self.workers.len() {
+            if !self.eligible(i, &job) {
+                continue;
+            }
+            let backlog = job.cores + self.workers[i].busy_cores();
+            self.workers[i].control_tick(now, outdoor_c, backlog);
+            if let Some(width) = Self::moldable_width(&job, self.workers[i].free_cores()) {
+                let mut placed = job;
+                placed.cores = width;
+                let finish = self.workers[i]
+                    .dispatch(now, placed, cost)
+                    .expect("woken with room");
+                return Dispatch::Started { worker: i, finish };
+            }
+        }
+        Dispatch::Full
+    }
+
+    /// Load snapshot for the peak policies.
+    pub fn load(&self) -> ClusterLoad {
+        let total: usize = self.workers.iter().map(|w| w.n_cores()).sum();
+        let busy: usize = self.workers.iter().map(|w| w.busy_cores()).sum();
+        let preemptible: usize = self.workers.iter().map(|w| w.preemptible_cores()).sum();
+        ClusterLoad {
+            cluster: self.id,
+            total_cores: total,
+            busy_cores: busy,
+            preemptible_cores: preemptible,
+            queued_edge: self.edge_queue.len(),
+            queued_dcc: self.dcc_queue.len(),
+        }
+    }
+
+    /// Heat-driven core capacity right now: what the thermostats would
+    /// let compute if backlog were unlimited (the §III-C seasonality
+    /// metric, experiment E6).
+    pub fn usable_cores(&self) -> usize {
+        self.workers.iter().map(|w| w.potential_cores()).sum()
+    }
+
+    /// Preempt enough local DCC work to place `job`, on one worker.
+    /// Returns the preempted jobs (they must be requeued and their
+    /// finish events cancelled by the caller) and the worker index, or
+    /// `None` if no single worker can be cleared for the job.
+    pub fn preempt_for(&mut self, now: SimTime, job: &Job) -> Option<(usize, Vec<Job>)> {
+        // Pick the eligible worker where free + preemptible is largest.
+        let target = (0..self.workers.len())
+            .filter(|&i| self.eligible(i, job))
+            .filter(|&i| {
+                self.workers[i].free_cores() + self.workers[i].preemptible_cores() >= job.cores
+            })
+            .max_by_key(|&i| {
+                (
+                    self.workers[i].free_cores() + self.workers[i].preemptible_cores(),
+                    usize::MAX - i,
+                )
+            })?;
+        let need = job.cores - self.workers[target].free_cores();
+        let running: Vec<sched::preempt::RunningTask> = self.workers[target]
+            .running()
+            .iter()
+            .filter(|s| !s.job.is_edge())
+            .map(|s| sched::preempt::RunningTask {
+                id: s.job.id,
+                cores: s.cores,
+                started: s.started,
+                progress_gops: (now.saturating_since(s.started)).as_secs_f64()
+                    * s.cores as f64
+                    * s.gops_per_core,
+                total_gops: s.job.work_gops,
+            })
+            .collect();
+        let victims = sched::preempt::select_victims(
+            &running,
+            need,
+            sched::preempt::VictimOrder::LeastProgressFirst,
+        )?;
+        let jobs: Vec<Job> = victims
+            .iter()
+            .map(|&id| self.workers[target].preempt(id, now))
+            .collect();
+        Some((target, jobs))
+    }
+
+    /// Dispatch queued work after capacity changed. Edge first (EDF),
+    /// then DCC (FIFO with fit-skipping). Returns the started jobs as
+    /// (worker, job, finish).
+    pub fn drain(&mut self, now: SimTime, outdoor_c: f64) -> Vec<(usize, Job, SimTime)> {
+        let mut started = Vec::new();
+        // Expired edge requests are dropped (recorded by the platform).
+        // The platform calls `take_expired` separately to count them.
+        while let Some(job) = self.edge_queue.peek().copied() {
+            match self.try_dispatch(now, outdoor_c, job) {
+                Dispatch::Started { worker, finish } => {
+                    self.edge_queue.pop();
+                    started.push((worker, job, finish));
+                }
+                Dispatch::Full => break,
+            }
+        }
+        // DCC jobs are moldable down to one core, so a single Full means
+        // no eligible worker has any budgeted core free — every later
+        // DCC job would fail too. Stop there (keeps drain O(started)
+        // even with thousands queued).
+        while let Some(job) = self.dcc_queue.pop() {
+            match self.try_dispatch(now, outdoor_c, job) {
+                Dispatch::Started { worker, finish } => {
+                    started.push((worker, job, finish));
+                }
+                Dispatch::Full => {
+                    self.dcc_queue.push_front(job);
+                    break;
+                }
+            }
+        }
+        started
+    }
+
+    /// Drop queued edge jobs whose deadline already passed.
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<Job> {
+        self.edge_queue.drop_expired(now)
+    }
+
+    /// Run the control loop on every worker. Returns (mean room temp,
+    /// usable cores, mean demand).
+    pub fn control_tick(&mut self, now: SimTime, outdoor_c: f64) -> (f64, usize, f64) {
+        let queued_cores: usize = self
+            .edge_queue
+            .iter()
+            .chain(self.dcc_queue.iter())
+            .map(|j| j.cores)
+            .sum();
+        let n = self.workers.len();
+        let mut temp_sum = 0.0;
+        let mut demand_sum = 0.0;
+        for w in &mut self.workers {
+            // Every worker sees the shared backlog (it may be assigned
+            // any queued job next drain).
+            let d = w.control_tick(now, outdoor_c, queued_cores + w.busy_cores());
+            temp_sum += w.room.temperature_c();
+            demand_sum += d;
+        }
+        (
+            temp_sum / n as f64,
+            self.usable_cores(),
+            demand_sum / n as f64,
+        )
+    }
+
+    /// Remove a finished job from `worker`.
+    pub fn finish(&mut self, worker: usize, id: JobId) {
+        self.workers[worker].remove(id);
+    }
+
+    /// Total DF energy drawn so far, kWh (all workers).
+    pub fn energy_kwh(&self) -> f64 {
+        self.workers.iter().map(|w| w.energy_kwh()).sum()
+    }
+
+    /// Compute-attributable energy, kWh.
+    pub fn compute_energy_kwh(&self) -> f64 {
+        self.workers.iter().map(|w| w.compute_energy_kwh()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Flow, JobId};
+
+    fn edge(id: u64, cores: usize) -> Job {
+        Job {
+            id: JobId(id),
+            flow: Flow::EdgeIndirect,
+            arrival: SimTime::ZERO,
+            work_gops: 30.0,
+            cores,
+            deadline: Some(SimDuration::from_secs(30)),
+            input_bytes: 0,
+            output_bytes: 0,
+            org: 0,
+        }
+    }
+
+    fn dcc(id: u64, cores: usize, work: f64) -> Job {
+        Job {
+            id: JobId(id),
+            flow: Flow::Dcc,
+            arrival: SimTime::ZERO,
+            work_gops: work,
+            cores,
+            deadline: None,
+            input_bytes: 0,
+            output_bytes: 0,
+            org: 0,
+        }
+    }
+
+    /// Chill every room so thermostats demand full heat: dispatching
+    /// then goes through the wake path with a full power budget.
+    fn chill(c: &mut ClusterSim) {
+        for w in 0..c.n_workers() {
+            c.worker_mut(w).room = Room::new(RoomParams::typical_apartment_room(), 10.0);
+        }
+        c.control_tick(SimTime::ZERO, 0.0);
+    }
+
+    fn cluster_a() -> ClusterSim {
+        let mut c = ClusterSim::new(
+            0,
+            4,
+            ArchClass::SharedWorkers {
+                switch_cost: SimDuration::from_secs(2),
+            },
+            20.0,
+        );
+        chill(&mut c);
+        c
+    }
+
+    fn cluster_b() -> ClusterSim {
+        let mut c = ClusterSim::new(
+            0,
+            4,
+            ArchClass::DedicatedEdge {
+                edge_workers: 1,
+                vpn_overhead: SimDuration::from_micros(400),
+            },
+            20.0,
+        );
+        chill(&mut c);
+        c
+    }
+
+    #[test]
+    fn dispatch_lands_on_a_worker() {
+        let mut c = cluster_a();
+        match c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 4, 120.0)) {
+            Dispatch::Started { finish, .. } => {
+                assert_eq!(finish, SimTime::from_secs(10));
+            }
+            Dispatch::Full => panic!("cold cluster must have room"),
+        }
+        assert_eq!(c.load().busy_cores, 4);
+    }
+
+    #[test]
+    fn arch_b_partitions_workers() {
+        let mut c = cluster_b();
+        // Edge jobs only fit the single dedicated worker (16 cores).
+        match c.try_dispatch(SimTime::ZERO, 0.0, edge(1, 16)) {
+            Dispatch::Started { worker, .. } => assert_eq!(worker, 0),
+            Dispatch::Full => panic!("edge worker free"),
+        }
+        // A second edge job finds the edge worker full → Full even though
+        // 3 DCC workers are idle.
+        assert_eq!(
+            c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 1)),
+            Dispatch::Full
+        );
+        // DCC jobs cannot use the dedicated edge worker.
+        for i in 0..3 {
+            match c.try_dispatch(SimTime::ZERO, 0.0, dcc(10 + i, 16, 100.0)) {
+                Dispatch::Started { worker, .. } => assert!(worker >= 1),
+                Dispatch::Full => panic!("DCC workers free"),
+            }
+        }
+        assert_eq!(
+            c.try_dispatch(SimTime::ZERO, 0.0, dcc(20, 1, 10.0)),
+            Dispatch::Full
+        );
+    }
+
+    #[test]
+    fn full_cluster_reports_full_and_preempts() {
+        let mut c = cluster_a();
+        for i in 0..4 {
+            assert!(matches!(
+                c.try_dispatch(SimTime::ZERO, 0.0, dcc(i, 16, 1e5)),
+                Dispatch::Started { .. }
+            ));
+        }
+        let e = edge(100, 4);
+        assert_eq!(c.try_dispatch(SimTime::ZERO, 0.0, e), Dispatch::Full);
+        let (worker, victims) = c
+            .preempt_for(SimTime::from_secs(10), &e)
+            .expect("preemptible DCC work exists");
+        assert_eq!(victims.len(), 1, "one 16-core victim frees plenty");
+        assert!(victims[0].work_gops < 1e5, "victim keeps only remaining work");
+        assert!(c.worker(worker).free_cores() >= 4);
+    }
+
+    #[test]
+    fn queues_drain_in_priority_order() {
+        let mut c = cluster_a();
+        // Fill the cluster.
+        for i in 0..4 {
+            c.try_dispatch(SimTime::ZERO, 0.0, dcc(i, 16, 480.0)); // finish at t=10
+        }
+        c.edge_queue.push(edge(50, 4));
+        c.dcc_queue.push(dcc(51, 4, 100.0));
+        // Nothing drains while full.
+        assert!(c.drain(SimTime::from_secs(5), 0.0).is_empty());
+        // Finish one worker's job → drain starts edge first, then DCC.
+        c.finish(0, JobId(0));
+        let started = c.drain(SimTime::from_secs(10), 0.0);
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].1.id, JobId(50), "edge first");
+        assert_eq!(started[1].1.id, JobId(51));
+    }
+
+    #[test]
+    fn expired_edge_jobs_are_dropped() {
+        let mut c = cluster_a();
+        c.edge_queue.push(edge(1, 4)); // 30 s deadline from t=0
+        let expired = c.take_expired(SimTime::from_secs(31));
+        assert_eq!(expired.len(), 1);
+        assert!(c.edge_queue.is_empty());
+    }
+
+    #[test]
+    fn warm_rooms_shrink_capacity() {
+        // Capacity is heat-driven (§III-C): with a backlog queued, cold
+        // rooms budget many cores; warm rooms budget none.
+        let mut c = cluster_a();
+        for i in 0..4 {
+            c.dcc_queue.push(dcc(100 + i, 16, 1e6));
+        }
+        c.control_tick(SimTime::ZERO, 0.0);
+        let cold_cores = c.usable_cores();
+        assert!(cold_cores >= 48, "cold cluster budget {cold_cores}");
+        // Warm every room far above the setpoint.
+        for w in 0..c.n_workers() {
+            c.worker_mut(w).room = Room::new(RoomParams::typical_apartment_room(), 26.0);
+        }
+        c.control_tick(SimTime::from_secs(600), 20.0);
+        let warm_cores = c.usable_cores();
+        assert_eq!(warm_cores, 0, "no heat demand, no capacity");
+    }
+
+    #[test]
+    fn load_snapshot_is_consistent() {
+        let mut c = cluster_a();
+        c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 8, 100.0));
+        c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 2));
+        let l = c.load();
+        assert_eq!(l.total_cores, 64);
+        assert_eq!(l.busy_cores, 10);
+        assert_eq!(l.preemptible_cores, 8, "only the DCC job is preemptible");
+    }
+}

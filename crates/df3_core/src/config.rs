@@ -1,0 +1,183 @@
+//! Platform configuration.
+
+use serde::{Deserialize, Serialize};
+use simcore::time::{Calendar, SimDuration};
+
+/// The two §III-B cluster architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArchClass {
+    /// Class A: every worker may serve edge *and* DCC requests. Pays a
+    /// context-switch cost when a worker alternates flows, and shares
+    /// one network (no isolation).
+    SharedWorkers {
+        /// Environment switch cost (container/VM swap between edge and
+        /// DCC stacks).
+        switch_cost: SimDuration,
+    },
+    /// Class B: `edge_workers` per cluster are dedicated to edge work
+    /// inside a VPN; the rest serve DCC only. No switch cost, but edge
+    /// capacity is fixed and the VPN adds per-request overhead.
+    DedicatedEdge {
+        /// Workers reserved for edge per cluster.
+        edge_workers: usize,
+        /// VPN encapsulation overhead per request (cf. `dfnet`).
+        vpn_overhead: SimDuration,
+    },
+}
+
+/// Full platform configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Number of DF clusters (buildings/districts).
+    pub n_clusters: usize,
+    /// Workers (Q.rads) per cluster.
+    pub workers_per_cluster: usize,
+    /// Architecture class.
+    pub arch: ArchClass,
+    /// Peak-management policy.
+    pub peak_policy: sched::PeakPolicy,
+    /// Admission control.
+    pub admission: sched::admission::AdmissionControl,
+    /// Control-loop period (thermostat/regulator tick).
+    pub control_period: SimDuration,
+    /// Datacenter cores for vertical offloading (0 = no datacenter).
+    pub datacenter_cores: usize,
+    /// Calendar anchoring of the simulated span.
+    pub calendar: Calendar,
+    /// Thermostat day setpoint, °C.
+    pub setpoint_c: f64,
+    /// Simulation horizon.
+    pub horizon: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Master-node outage window (offsets from t = 0), if any. While a
+    /// master is down, *indirect* edge requests cannot be scheduled
+    /// (§II-C routes them through the master); heating and direct
+    /// requests are unaffected — the §IV decentralisation property.
+    pub master_outage: Option<(SimDuration, SimDuration)>,
+    /// Resource-oriented fallback (§IV): during a master outage,
+    /// indirect requests degrade to direct ones (devices talk to the
+    /// servers' uniform resource interface themselves) instead of
+    /// failing.
+    pub roc_fallback_direct: bool,
+    /// Mean time between failures of one DF server (§III-C availability
+    /// and maintenance); `None` disables failures.
+    pub worker_mtbf: Option<SimDuration>,
+    /// Repair turnaround once a server fails (a technician visits the
+    /// building — distributed maintenance is slower than a DC swap).
+    pub worker_repair_time: SimDuration,
+}
+
+impl PlatformConfig {
+    /// A small winter deployment used by most experiments: 4 clusters of
+    /// 16 Q.rads, shared workers, hybrid peak policy, one-week horizon.
+    pub fn small_winter() -> Self {
+        PlatformConfig {
+            n_clusters: 4,
+            workers_per_cluster: 16,
+            arch: ArchClass::SharedWorkers {
+                switch_cost: SimDuration::from_secs(2),
+            },
+            peak_policy: sched::PeakPolicy::Hybrid,
+            admission: sched::admission::AdmissionControl::open(),
+            control_period: SimDuration::from_secs(600),
+            datacenter_cores: 512,
+            calendar: Calendar::NOVEMBER_EPOCH,
+            setpoint_c: 20.0,
+            horizon: SimDuration::from_days(7),
+            seed: 0xDF3,
+            master_outage: None,
+            roc_fallback_direct: false,
+            worker_mtbf: None,
+            worker_repair_time: SimDuration::from_days(3),
+        }
+    }
+
+    /// Architecture-B variant of [`PlatformConfig::small_winter`].
+    pub fn small_winter_arch_b(edge_workers: usize) -> Self {
+        PlatformConfig {
+            arch: ArchClass::DedicatedEdge {
+                edge_workers,
+                vpn_overhead: SimDuration::from_micros(400),
+            },
+            ..Self::small_winter()
+        }
+    }
+
+    /// Total DF cores.
+    pub fn total_df_cores(&self) -> usize {
+        self.n_clusters * self.workers_per_cluster * 16
+    }
+
+    /// Validate the configuration; all experiment entry points call this.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_clusters == 0 || self.workers_per_cluster == 0 {
+            return Err("need at least one cluster and one worker".into());
+        }
+        if let ArchClass::DedicatedEdge { edge_workers, .. } = self.arch {
+            if edge_workers >= self.workers_per_cluster {
+                return Err(format!(
+                    "edge_workers {edge_workers} must leave DCC workers in a {}-worker cluster",
+                    self.workers_per_cluster
+                ));
+            }
+            if edge_workers == 0 {
+                return Err("class B needs at least one dedicated edge worker".into());
+            }
+        }
+        if self.control_period <= SimDuration::ZERO {
+            return Err("control period must be positive".into());
+        }
+        if self.horizon <= SimDuration::ZERO {
+            return Err("horizon must be positive".into());
+        }
+        if let Some((a, b)) = self.master_outage {
+            if b <= a || a.is_negative() {
+                return Err(format!("bad master outage window {a}..{b}"));
+            }
+        }
+        if let Some(mtbf) = self.worker_mtbf {
+            if mtbf <= SimDuration::ZERO {
+                return Err("worker MTBF must be positive".into());
+            }
+        }
+        if self.worker_repair_time.is_negative() {
+            return Err("repair time cannot be negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(PlatformConfig::small_winter().validate().is_ok());
+        assert!(PlatformConfig::small_winter_arch_b(4).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut c = PlatformConfig::small_winter();
+        c.n_clusters = 0;
+        assert!(c.validate().is_err());
+
+        let c = PlatformConfig::small_winter_arch_b(16);
+        assert!(c.validate().is_err(), "all-edge cluster leaves no DCC workers");
+
+        let c = PlatformConfig::small_winter_arch_b(0);
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::small_winter();
+        c.control_period = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn core_math() {
+        let c = PlatformConfig::small_winter();
+        assert_eq!(c.total_df_cores(), 4 * 16 * 16);
+    }
+}

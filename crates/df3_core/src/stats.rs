@@ -1,0 +1,205 @@
+//! Everything the experiments measure.
+
+use simcore::metrics::{Counter, Histogram, Summary, TimeSeries};
+use simcore::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Platform-wide measurement state.
+#[derive(Debug, Clone)]
+pub struct PlatformStats {
+    /// Edge response times, ms.
+    pub edge_response_ms: Histogram,
+    /// Edge requests meeting their deadline / total completed.
+    pub edge_deadline_met: Counter,
+    pub edge_completed: Counter,
+    /// Edge requests rejected (admission or infeasibility).
+    pub edge_rejected: Counter,
+    /// Edge requests dropped because their deadline expired in queue.
+    pub edge_expired: Counter,
+    /// DCC completions and response statistics.
+    pub dcc_completed: Counter,
+    pub dcc_response_s: Summary,
+    /// DCC bounded slowdown (response / ideal service), dimensionless.
+    pub dcc_slowdown: Summary,
+    pub dcc_rejected: Counter,
+    /// Work completed, Gop, by flow.
+    pub edge_work_gops: f64,
+    pub dcc_work_gops: f64,
+    /// DCC work completed in the datacenter (vertical overflow share).
+    pub dc_work_gops: f64,
+    /// Worker hardware failures injected (§III-C availability).
+    pub worker_failures: Counter,
+    /// Peak-management actions taken.
+    pub preemptions: Counter,
+    pub offload_vertical: Counter,
+    pub offload_horizontal: Counter,
+    pub delays: Counter,
+    /// Mean room temperature samples (one per control tick, averaged
+    /// over workers) — the Figure 4 series.
+    pub room_temp_c: TimeSeries,
+    /// Usable DF cores at each control tick (heat-driven capacity).
+    pub usable_cores: TimeSeries,
+    /// Aggregate heat demand at each tick (mean demand in [0,1]).
+    pub heat_demand: TimeSeries,
+    /// Per-organisation served work, Gop.
+    pub org_served_gops: BTreeMap<u32, f64>,
+    /// DF energy: total (incl. resistive) and compute-only, kWh.
+    pub df_total_kwh: f64,
+    pub df_compute_kwh: f64,
+    /// Datacenter energy, kWh.
+    pub dc_it_kwh: f64,
+    pub dc_facility_kwh: f64,
+}
+
+impl PlatformStats {
+    pub fn new() -> Self {
+        PlatformStats {
+            edge_response_ms: Histogram::new(0.0, 60_000.0, 2_000),
+            edge_deadline_met: Counter::new(),
+            edge_completed: Counter::new(),
+            edge_rejected: Counter::new(),
+            edge_expired: Counter::new(),
+            dcc_completed: Counter::new(),
+            dcc_response_s: Summary::new(),
+            dcc_slowdown: Summary::new(),
+            dcc_rejected: Counter::new(),
+            edge_work_gops: 0.0,
+            dcc_work_gops: 0.0,
+            dc_work_gops: 0.0,
+            worker_failures: Counter::new(),
+            preemptions: Counter::new(),
+            offload_vertical: Counter::new(),
+            offload_horizontal: Counter::new(),
+            delays: Counter::new(),
+            room_temp_c: TimeSeries::new(),
+            usable_cores: TimeSeries::new(),
+            heat_demand: TimeSeries::new(),
+            org_served_gops: BTreeMap::new(),
+            df_total_kwh: 0.0,
+            df_compute_kwh: 0.0,
+            dc_it_kwh: 0.0,
+            dc_facility_kwh: 0.0,
+        }
+    }
+
+    /// Record an edge completion.
+    pub fn record_edge(&mut self, response_ms: f64, met_deadline: bool, work_gops: f64, org: u32) {
+        self.edge_response_ms.observe(response_ms);
+        self.edge_completed.inc();
+        if met_deadline {
+            self.edge_deadline_met.inc();
+        }
+        self.edge_work_gops += work_gops;
+        *self.org_served_gops.entry(org).or_insert(0.0) += work_gops;
+    }
+
+    /// Record a DCC completion. `ideal_s` is the no-wait service time.
+    pub fn record_dcc(&mut self, response_s: f64, ideal_s: f64, work_gops: f64, org: u32, in_dc: bool) {
+        self.dcc_completed.inc();
+        self.dcc_response_s.observe(response_s);
+        self.dcc_slowdown
+            .observe(response_s / ideal_s.max(1e-9));
+        self.dcc_work_gops += work_gops;
+        if in_dc {
+            self.dc_work_gops += work_gops;
+        }
+        *self.org_served_gops.entry(org).or_insert(0.0) += work_gops;
+    }
+
+    /// Edge deadline attainment in [0, 1] over *arrived* edge requests
+    /// (completed + rejected + expired) — rejecting everything cannot
+    /// fake a perfect score.
+    pub fn edge_attainment(&self) -> f64 {
+        let denom =
+            self.edge_completed.get() + self.edge_rejected.get() + self.edge_expired.get();
+        if denom == 0 {
+            return 1.0;
+        }
+        self.edge_deadline_met.get() as f64 / denom as f64
+    }
+
+    /// Combined platform PUE: (all energy) / (useful IT energy). DF
+    /// resistive heat is *useful* to the host but not IT, so it counts
+    /// as overhead here — the conservative reading.
+    pub fn pue(&self) -> f64 {
+        let it = self.df_compute_kwh + self.dc_it_kwh;
+        if it <= 0.0 {
+            return 1.0;
+        }
+        (self.df_total_kwh + self.dc_facility_kwh) / it
+    }
+
+    /// Fraction of DCC work that ran in the datacenter.
+    pub fn dc_share(&self) -> f64 {
+        if self.dcc_work_gops <= 0.0 {
+            return 0.0;
+        }
+        self.dc_work_gops / self.dcc_work_gops
+    }
+
+    /// Sample the fleet state at a control tick.
+    pub fn sample_tick(&mut self, t: SimTime, mean_temp: f64, usable: f64, demand: f64) {
+        self.room_temp_c.push(t, mean_temp);
+        self.usable_cores.push(t, usable);
+        self.heat_demand.push(t, demand);
+    }
+}
+
+impl Default for PlatformStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_attainment_counts_rejections() {
+        let mut s = PlatformStats::new();
+        s.record_edge(10.0, true, 1.0, 0);
+        s.record_edge(900.0, false, 1.0, 0);
+        s.edge_rejected.inc();
+        s.edge_expired.inc();
+        // 1 met out of 4 arrived.
+        assert!((s.edge_attainment() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_attainment_is_one() {
+        assert_eq!(PlatformStats::new().edge_attainment(), 1.0);
+        assert_eq!(PlatformStats::new().pue(), 1.0);
+    }
+
+    #[test]
+    fn pue_counts_resistive_as_overhead() {
+        let mut s = PlatformStats::new();
+        s.df_total_kwh = 120.0;
+        s.df_compute_kwh = 100.0;
+        assert!((s.pue() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_share_tracks_offloaded_work() {
+        let mut s = PlatformStats::new();
+        s.record_dcc(10.0, 10.0, 70.0, 0, false);
+        s.record_dcc(10.0, 10.0, 30.0, 0, true);
+        assert!((s.dc_share() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn org_accounting_accumulates() {
+        let mut s = PlatformStats::new();
+        s.record_edge(1.0, true, 5.0, 7);
+        s.record_dcc(1.0, 1.0, 10.0, 7, false);
+        assert!((s.org_served_gops[&7] - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_is_bounded_below_by_one_for_ideal_runs() {
+        let mut s = PlatformStats::new();
+        s.record_dcc(10.0, 10.0, 1.0, 0, false);
+        assert!((s.dcc_slowdown.mean() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,471 @@
+//! One DF worker: a server in a room, closing the heat loop.
+//!
+//! The worker owns its [`Room`], [`ModulatingThermostat`], and
+//! [`HeatRegulator`]. Every control tick the platform calls
+//! [`WorkerSim::control_tick`]: the room is advanced with the heat the
+//! server produced since the last tick, the thermostat reads the new
+//! temperature, and the regulator converts the demand into a compute
+//! budget for the next period.
+//!
+//! Jobs occupy cores at the P-state in force at dispatch and keep that
+//! speed until completion (a deliberate simplification: Qarnot's
+//! middleware also avoids re-speeding running containers; the regulator
+//! only steers *new* placements).
+
+use crate::regulator::{HeatRegulator, RegulatorDecision};
+use dfhw::dvfs::DvfsLadder;
+use serde::{Deserialize, Serialize};
+use simcore::time::{SimDuration, SimTime};
+use std::sync::Arc;
+use thermal::room::Room;
+use thermal::thermostat::ModulatingThermostat;
+use workloads::{Job, JobId};
+
+/// A job slice running on a worker.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunningSlice {
+    pub job: Job,
+    pub cores: usize,
+    /// Per-core speed, Gops/s, fixed at dispatch.
+    pub gops_per_core: f64,
+    pub started: SimTime,
+    pub finish: SimTime,
+}
+
+/// One DF server + room + regulator.
+#[derive(Debug, Clone)]
+pub struct WorkerSim {
+    pub id: usize,
+    ladder: Arc<DvfsLadder>,
+    regulator: HeatRegulator,
+    pub room: Room,
+    pub thermostat: ModulatingThermostat,
+    /// Current regulator decision (budget for this control period).
+    decision: RegulatorDecision,
+    /// Jobs currently running.
+    running: Vec<RunningSlice>,
+    /// Last control-tick time (thermal integration anchor).
+    last_tick: SimTime,
+    /// Energy drawn so far, J (compute + overhead + resistive).
+    energy_j: f64,
+    /// Compute-only energy, J (for PUE-style splits).
+    compute_energy_j: f64,
+    /// Heat-budgeted core capacity if backlog were unlimited — the
+    /// §III-C "computing power depends on the heat demand" metric.
+    potential_cores: usize,
+    /// Whether the server is broken and awaiting repair (§III-C
+    /// availability; a failed heater computes nothing and heats nothing).
+    failed: bool,
+    /// Whether this worker is reserved for edge work (architecture B).
+    pub edge_dedicated: bool,
+    /// Flow of the most recently dispatched job (context-switch cost
+    /// model of architecture A).
+    last_flow_was_edge: Option<bool>,
+}
+
+impl WorkerSim {
+    pub fn new(
+        id: usize,
+        ladder: Arc<DvfsLadder>,
+        regulator: HeatRegulator,
+        room: Room,
+        thermostat: ModulatingThermostat,
+    ) -> Self {
+        let decision = RegulatorDecision {
+            powered: true,
+            usable_cores: regulator.n_cores,
+            level: ladder.n_states() - 1,
+            compute_budget_w: regulator.max_power_w,
+            resistive_w: 0.0,
+            heat_budget_w: 0.0,
+        };
+        WorkerSim {
+            id,
+            ladder,
+            regulator,
+            room,
+            thermostat,
+            decision,
+            running: Vec::new(),
+            last_tick: SimTime::ZERO,
+            energy_j: 0.0,
+            compute_energy_j: 0.0,
+            potential_cores: 0,
+            failed: false,
+            edge_dedicated: false,
+            last_flow_was_edge: None,
+        }
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.regulator.n_cores
+    }
+
+    pub fn decision(&self) -> &RegulatorDecision {
+        &self.decision
+    }
+
+    /// Cores currently occupied by running jobs.
+    pub fn busy_cores(&self) -> usize {
+        self.running.iter().map(|s| s.cores).sum()
+    }
+
+    /// Cores available for a new dispatch right now.
+    pub fn free_cores(&self) -> usize {
+        self.decision.usable_cores.saturating_sub(self.busy_cores())
+    }
+
+    /// Cores held by preemptible (non-edge) jobs.
+    pub fn preemptible_cores(&self) -> usize {
+        self.running
+            .iter()
+            .filter(|s| !s.job.is_edge())
+            .map(|s| s.cores)
+            .sum()
+    }
+
+    pub fn running(&self) -> &[RunningSlice] {
+        &self.running
+    }
+
+    /// Compute-attributable power (overhead + running cores), W.
+    pub fn compute_power_w(&self) -> f64 {
+        if !self.decision.powered {
+            return 0.0;
+        }
+        let core_w: f64 = self
+            .running
+            .iter()
+            .map(|s| {
+                // Approximate the per-core draw of a slice by its
+                // dispatch-time level: find the level whose throughput
+                // matches the slice speed.
+                let lvl = self
+                    .ladder
+                    .level_for_throughput(s.gops_per_core)
+                    .unwrap_or(self.ladder.n_states() - 1);
+                s.cores as f64 * self.ladder.power_w(lvl, 1.0)
+            })
+            .sum();
+        self.regulator.overhead_w + core_w
+    }
+
+    /// Resistive-backup power right now: fills the gap between the heat
+    /// budget and the actual compute draw (§II-C decoupling — comfort
+    /// never depends on cloud demand).
+    pub fn resistive_w(&self) -> f64 {
+        if !self.decision.powered || !self.regulator.has_resistive_backup {
+            return 0.0;
+        }
+        (self.decision.heat_budget_w - self.compute_power_w()).max(0.0)
+    }
+
+    /// Instantaneous electrical power, W.
+    pub fn power_w(&self) -> f64 {
+        if !self.decision.powered {
+            return 0.0;
+        }
+        self.compute_power_w() + self.resistive_w()
+    }
+
+    /// Heat currently flowing into the room, W (all drawn power).
+    pub fn heat_w(&self) -> f64 {
+        self.power_w()
+    }
+
+    /// Dispatch `job` now. Returns the finish time, or `None` if the
+    /// worker cannot take it (not powered, or not enough budgeted
+    /// cores). `switch_cost` is added when the worker alternates
+    /// between edge and DCC work (architecture A context switching).
+    pub fn dispatch(
+        &mut self,
+        now: SimTime,
+        job: Job,
+        switch_cost: SimDuration,
+    ) -> Option<SimTime> {
+        if self.failed || !self.decision.powered || self.free_cores() < job.cores {
+            return None;
+        }
+        let gops = self.ladder.throughput(self.decision.level);
+        let mut start = now;
+        let is_edge = job.is_edge();
+        if let Some(prev_edge) = self.last_flow_was_edge {
+            if prev_edge != is_edge {
+                start += switch_cost;
+            }
+        }
+        self.last_flow_was_edge = Some(is_edge);
+        let finish = start + job.service_time(gops);
+        self.running.push(RunningSlice {
+            job,
+            cores: job.cores,
+            gops_per_core: gops,
+            started: start,
+            finish,
+        });
+        Some(finish)
+    }
+
+    /// Remove a finished (or preempted) job; returns its slice. Panics
+    /// if absent — a missing job is an event-plumbing bug.
+    pub fn remove(&mut self, id: JobId) -> RunningSlice {
+        let idx = self
+            .running
+            .iter()
+            .position(|s| s.job.id == id)
+            .unwrap_or_else(|| panic!("job {id:?} not running on worker {}", self.id));
+        self.running.swap_remove(idx)
+    }
+
+    /// Preempt a job at `now`: remove it and return the job with its
+    /// work reduced by the completed fraction (it re-enters a queue).
+    pub fn preempt(&mut self, id: JobId, now: SimTime) -> Job {
+        let slice = self.remove(id);
+        let done = if now <= slice.started {
+            0.0
+        } else {
+            let ran = (now - slice.started).as_secs_f64();
+            ran * slice.cores as f64 * slice.gops_per_core
+        };
+        let mut job = slice.job;
+        job.work_gops = (job.work_gops - done).max(job.work_gops * 0.001);
+        job
+    }
+
+    /// Run the control loop at `now`: integrate room thermals with the
+    /// heat produced over the elapsed period, read the thermostat, and
+    /// set the next period's regulator decision. Returns the demand.
+    pub fn control_tick(&mut self, now: SimTime, outdoor_c: f64, backlog_cores: usize) -> f64 {
+        let dt = now.saturating_since(self.last_tick);
+        let heat = self.heat_w();
+        if dt > SimDuration::ZERO {
+            self.room.step(dt, outdoor_c, heat);
+            self.energy_j += heat * dt.as_secs_f64();
+            self.compute_energy_j += self.compute_power_w() * dt.as_secs_f64();
+        }
+        self.last_tick = now;
+        if self.failed {
+            // Broken hardware: dark and cold until repaired.
+            self.potential_cores = 0;
+            self.decision = RegulatorDecision {
+                powered: false,
+                usable_cores: 0,
+                level: 0,
+                compute_budget_w: 0.0,
+                resistive_w: 0.0,
+                heat_budget_w: 0.0,
+            };
+            return 0.0;
+        }
+        let demand = self.thermostat.demand(now, self.room.temperature_c());
+        self.potential_cores = self
+            .regulator
+            .decide(&self.ladder, demand, self.regulator.n_cores)
+            .usable_cores;
+        // Never budget below what running jobs already hold: running
+        // slices finish at their dispatched speed.
+        let decision = self.regulator.decide(
+            &self.ladder,
+            demand,
+            backlog_cores.max(self.busy_cores()),
+        );
+        let floor = self.busy_cores();
+        self.decision = RegulatorDecision {
+            powered: decision.powered || floor > 0,
+            usable_cores: decision.usable_cores.max(floor),
+            ..decision
+        };
+        demand
+    }
+
+    /// Heat-budgeted capacity at the last tick, cores (independent of
+    /// the backlog actually present).
+    pub fn potential_cores(&self) -> usize {
+        self.potential_cores
+    }
+
+    /// Whether the server is currently broken.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Break the server at `now`: every running job is preempted (its
+    /// remaining work is returned for requeueing) and the board goes
+    /// dark until [`WorkerSim::repair`].
+    pub fn fail(&mut self, now: SimTime) -> Vec<Job> {
+        self.failed = true;
+        let ids: Vec<workloads::JobId> = self.running.iter().map(|s| s.job.id).collect();
+        let jobs = ids.into_iter().map(|id| self.preempt(id, now)).collect();
+        self.decision = RegulatorDecision {
+            powered: false,
+            usable_cores: 0,
+            level: 0,
+            compute_budget_w: 0.0,
+            resistive_w: 0.0,
+            heat_budget_w: 0.0,
+        };
+        self.potential_cores = 0;
+        jobs
+    }
+
+    /// Return the server to service (the next control tick re-budgets it).
+    pub fn repair(&mut self) {
+        self.failed = false;
+    }
+
+    /// Energy drawn so far, kWh.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_j / 3.6e6
+    }
+
+    /// Compute-attributable energy, kWh.
+    pub fn compute_energy_kwh(&self) -> f64 {
+        self.compute_energy_j / 3.6e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermal::room::RoomParams;
+    use thermal::thermostat::SetpointSchedule;
+    use workloads::{Flow, JobId};
+
+    fn worker() -> WorkerSim {
+        WorkerSim::new(
+            0,
+            Arc::new(DvfsLadder::desktop_i7()),
+            HeatRegulator::for_qrad(),
+            Room::new(RoomParams::typical_apartment_room(), 17.0),
+            ModulatingThermostat::new(SetpointSchedule::constant(20.0), 1.5),
+        )
+    }
+
+    fn job(id: u64, cores: usize, work: f64, edge: bool) -> Job {
+        Job {
+            id: JobId(id),
+            flow: if edge { Flow::EdgeIndirect } else { Flow::Dcc },
+            arrival: SimTime::ZERO,
+            work_gops: work,
+            cores,
+            deadline: None,
+            input_bytes: 0,
+            output_bytes: 0,
+            org: 0,
+        }
+    }
+
+    #[test]
+    fn dispatch_occupies_cores_until_finish() {
+        let mut w = worker();
+        w.control_tick(SimTime::ZERO, 5.0, 100);
+        let finish = w
+            .dispatch(SimTime::ZERO, job(1, 4, 480.0, false), SimDuration::ZERO)
+            .expect("cold room → full budget");
+        assert_eq!(w.busy_cores(), 4);
+        // 480 Gop / (4 cores × 3 Gops) = 40 s.
+        assert_eq!(finish, SimTime::from_secs(40));
+        let slice = w.remove(JobId(1));
+        assert_eq!(slice.cores, 4);
+        assert_eq!(w.busy_cores(), 0);
+    }
+
+    #[test]
+    fn dispatch_fails_when_budget_exhausted() {
+        let mut w = worker();
+        w.control_tick(SimTime::ZERO, 5.0, 100);
+        assert!(w
+            .dispatch(SimTime::ZERO, job(1, 12, 100.0, false), SimDuration::ZERO)
+            .is_some());
+        assert!(w
+            .dispatch(SimTime::ZERO, job(2, 8, 100.0, false), SimDuration::ZERO)
+            .is_none());
+        assert!(w
+            .dispatch(SimTime::ZERO, job(3, 4, 100.0, false), SimDuration::ZERO)
+            .is_some());
+    }
+
+    #[test]
+    fn warm_room_throttles_capacity() {
+        let mut w = worker();
+        // Make the room warm: no demand.
+        w.room = Room::new(RoomParams::typical_apartment_room(), 24.0);
+        w.control_tick(SimTime::ZERO, 15.0, 100);
+        assert!(!w.decision().powered, "no heat demand → board off");
+        assert!(w
+            .dispatch(SimTime::ZERO, job(1, 1, 10.0, false), SimDuration::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn cold_room_creates_capacity_and_heat() {
+        let mut w = worker();
+        let demand = w.control_tick(SimTime::ZERO, 0.0, 100);
+        assert!(demand > 0.9, "17 °C room, 20 °C target → high demand");
+        assert!(w.decision().usable_cores >= 12);
+        // With no running jobs the resistive element covers the demand.
+        assert!(w.heat_w() > 300.0);
+    }
+
+    #[test]
+    fn context_switch_cost_applies_on_flow_alternation() {
+        let mut w = worker();
+        w.control_tick(SimTime::ZERO, 0.0, 100);
+        let cost = SimDuration::from_secs(2);
+        let f1 = w.dispatch(SimTime::ZERO, job(1, 1, 3.0, false), cost).unwrap();
+        assert_eq!(f1, SimTime::from_secs(1)); // first job: no switch
+        let f2 = w.dispatch(SimTime::ZERO, job(2, 1, 3.0, true), cost).unwrap();
+        assert_eq!(f2, SimTime::from_secs(3)); // switch DCC→edge: +2 s
+        let f3 = w.dispatch(SimTime::ZERO, job(3, 1, 3.0, true), cost).unwrap();
+        assert_eq!(f3, SimTime::from_secs(1)); // edge→edge: no switch
+    }
+
+    #[test]
+    fn preemption_returns_remaining_work() {
+        let mut w = worker();
+        w.control_tick(SimTime::ZERO, 0.0, 100);
+        w.dispatch(SimTime::ZERO, job(1, 2, 600.0, false), SimDuration::ZERO);
+        // After 50 s at 2×3 Gops, 300 Gop done.
+        let back = w.preempt(JobId(1), SimTime::from_secs(50));
+        assert!((back.work_gops - 300.0).abs() < 1.0, "remaining {}", back.work_gops);
+        assert_eq!(w.busy_cores(), 0);
+    }
+
+    #[test]
+    fn thermal_loop_warms_the_room_toward_setpoint() {
+        let mut w = worker();
+        let mut t = SimTime::ZERO;
+        let dt = SimDuration::from_secs(600);
+        for _ in 0..(6 * 48) {
+            // Plenty of backlog: the server heats by computing.
+            w.control_tick(t, 5.0, 100);
+            t += dt;
+        }
+        let temp = w.room.temperature_c();
+        assert!(
+            (18.4..21.0).contains(&temp),
+            "room should settle near 20 °C, got {temp}"
+        );
+        assert!(w.energy_kwh() > 0.5, "energy accrued: {}", w.energy_kwh());
+    }
+
+    #[test]
+    fn running_jobs_keep_their_cores_across_throttling() {
+        let mut w = worker();
+        w.control_tick(SimTime::ZERO, 0.0, 100);
+        w.dispatch(SimTime::ZERO, job(1, 8, 1e6, false), SimDuration::ZERO);
+        // Room becomes warm: demand collapses, but the slice stays.
+        w.room = Room::new(RoomParams::typical_apartment_room(), 25.0);
+        w.control_tick(SimTime::from_secs(600), 15.0, 100);
+        assert!(w.decision().powered, "powered while a job still runs");
+        assert_eq!(w.busy_cores(), 8);
+        assert!(w.decision().usable_cores >= 8);
+        assert_eq!(w.free_cores(), 0, "but no headroom for new work");
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_absent_job_panics() {
+        worker().remove(JobId(99));
+    }
+}

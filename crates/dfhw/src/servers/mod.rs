@@ -1,0 +1,16 @@
+//! The concrete server classes of §II-B.
+//!
+//! | Class | Paper spec | Constructor |
+//! |-------|-----------|-------------|
+//! | Q.rad digital heater | 3–4 CPUs, 500 W, 110–230 V, sensors, fiber | [`ServerSpec::qrad`] |
+//! | Nerdalize e-radiator | 1000 W, dual heat pipeline (summer exhaust) | [`ServerSpec::eradiator`] |
+//! | Qarnot crypto-heater | 650 W, 2 GPUs | [`ServerSpec::crypto_heater`] |
+//! | Asperitas AIC24 boiler | 200 CPUs, 10 Gbps Ethernet, 20 kW | [`ServerSpec::asperitas_boiler`] |
+//! | Stimergy digital boiler | oil-immersed, 1–4 kW, 20–40 servers | [`ServerSpec::stimergy_boiler`] |
+//! | Datacenter node | classical cooled server (baselines) | [`ServerSpec::datacenter_node`] |
+
+mod spec;
+mod state;
+
+pub use spec::{HeatSink, ServerClass, ServerSpec};
+pub use state::{SeasonMode, ServerState};

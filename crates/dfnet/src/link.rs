@@ -1,0 +1,161 @@
+//! Point-to-point link timing.
+
+use crate::protocol::Protocol;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+
+/// A unidirectional link using a [`Protocol`], with an optional extra
+/// distance-dependent latency (metro/WAN spans) and a load factor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Link {
+    pub protocol: Protocol,
+    /// Additional one-way latency on top of the protocol base, s.
+    pub extra_latency_s: f64,
+    /// Fraction of the nominal data rate actually available (congestion,
+    /// MAC efficiency), in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+impl Link {
+    pub fn new(protocol: Protocol) -> Self {
+        Link {
+            protocol,
+            extra_latency_s: 0.0,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Add extra one-way latency (e.g. metro distance).
+    pub fn with_extra_latency(mut self, seconds: f64) -> Self {
+        assert!(seconds >= 0.0);
+        self.extra_latency_s = seconds;
+        self
+    }
+
+    /// Derate the data rate.
+    pub fn with_efficiency(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency out of (0,1]: {eff}");
+        self.efficiency = eff;
+        self
+    }
+
+    /// Number of frames needed for `payload_bytes`.
+    pub fn frames_for(&self, payload_bytes: usize) -> usize {
+        match self.protocol.max_payload_bytes() {
+            Some(max) => payload_bytes.div_ceil(max).max(1),
+            None => 1,
+        }
+    }
+
+    /// One-way delivery time of a message of `payload_bytes`:
+    /// base latency + serialisation of payload + framing overhead,
+    /// fragmenting if the protocol's payload limit requires it.
+    pub fn transfer_time(&self, payload_bytes: usize) -> SimDuration {
+        let frames = self.frames_for(payload_bytes);
+        let total_bytes = payload_bytes + frames * self.protocol.frame_overhead_bytes();
+        let rate = self.protocol.data_rate_bps() * self.efficiency;
+        let serialisation = total_bytes as f64 * 8.0 / rate;
+        SimDuration::from_secs_f64(
+            self.protocol.base_latency_s() + self.extra_latency_s + serialisation,
+        )
+    }
+
+    /// Round-trip time for a request of `req_bytes` and reply of
+    /// `rep_bytes` over this link (same link both ways).
+    pub fn round_trip(&self, req_bytes: usize, rep_bytes: usize) -> SimDuration {
+        self.transfer_time(req_bytes) + self.transfer_time(rep_bytes)
+    }
+
+    /// Air time of the payload alone (used for duty-cycle accounting).
+    pub fn air_time(&self, payload_bytes: usize) -> SimDuration {
+        let frames = self.frames_for(payload_bytes);
+        let total_bytes = payload_bytes + frames * self.protocol.frame_overhead_bytes();
+        let rate = self.protocol.data_rate_bps() * self.efficiency;
+        SimDuration::from_secs_f64(total_bytes as f64 * 8.0 / rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_transfer_is_sub_millisecond() {
+        let l = Link::new(Protocol::EthernetLan);
+        let t = l.transfer_time(1_000);
+        assert!(t < SimDuration::MILLISECOND, "LAN 1 kB took {t}");
+    }
+
+    #[test]
+    fn lora_sensor_reading_is_tenths_of_seconds() {
+        let l = Link::new(Protocol::Lora);
+        let t = l.transfer_time(20); // a compact sensor frame
+        let ms = t.as_millis_f64();
+        assert!(
+            (80.0..300.0).contains(&ms),
+            "LoRa 20 B took {ms} ms — should be ~0.1 s"
+        );
+    }
+
+    #[test]
+    fn sigfox_is_seconds_per_message() {
+        let l = Link::new(Protocol::Sigfox);
+        let t = l.transfer_time(12);
+        assert!(t.as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    fn fragmentation_multiplies_overhead() {
+        let l = Link::new(Protocol::Zigbee);
+        assert_eq!(l.frames_for(50), 1);
+        assert_eq!(l.frames_for(100), 1);
+        assert_eq!(l.frames_for(101), 2);
+        assert_eq!(l.frames_for(1000), 10);
+        // 10 frames of overhead must make the big transfer disproportionately slower.
+        let t1 = l.transfer_time(100).as_secs_f64();
+        let t10 = l.transfer_time(1000).as_secs_f64();
+        assert!(t10 > 8.0 * (t1 - Protocol::Zigbee.base_latency_s()));
+    }
+
+    #[test]
+    fn zero_byte_message_still_costs_a_frame() {
+        let l = Link::new(Protocol::Lora);
+        assert_eq!(l.frames_for(0), 1);
+        assert!(l.transfer_time(0) > SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn efficiency_derates_throughput_not_latency() {
+        let fast = Link::new(Protocol::Wifi);
+        let slow = Link::new(Protocol::Wifi).with_efficiency(0.5);
+        let big = 1_000_000;
+        let t_fast = fast.transfer_time(big).as_secs_f64();
+        let t_slow = slow.transfer_time(big).as_secs_f64();
+        let base = Protocol::Wifi.base_latency_s();
+        assert!(((t_slow - base) / (t_fast - base) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn extra_latency_adds_linearly() {
+        let near = Link::new(Protocol::WanInternet);
+        let far = Link::new(Protocol::WanInternet).with_extra_latency(0.080);
+        let d = far.transfer_time(100) - near.transfer_time(100);
+        assert!((d.as_secs_f64() - 0.080).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_ways() {
+        let l = Link::new(Protocol::Fiber);
+        let rtt = l.round_trip(200, 5_000);
+        assert_eq!(rtt, l.transfer_time(200) + l.transfer_time(5_000));
+    }
+
+    #[test]
+    fn edge_vs_cloud_order_of_magnitude() {
+        // The paper's core latency claim: a local LAN round-trip beats a
+        // WAN round-trip by an order of magnitude.
+        let lan = Link::new(Protocol::EthernetLan).round_trip(1_000, 1_000);
+        let wan = Link::new(Protocol::WanInternet).round_trip(1_000, 1_000);
+        assert!(wan.as_secs_f64() > 10.0 * lan.as_secs_f64());
+    }
+}

@@ -1,0 +1,153 @@
+//! Message framing: zero-copy fragmentation and reassembly.
+//!
+//! Low-power protocols carry tiny frames (§III-B: Zigbee 100 B, LoRa
+//! 222 B, Sigfox 12 B). An application payload must be fragmented into
+//! protocol frames and reassembled at the gateway. Payloads are
+//! [`bytes::Bytes`], so fragmentation is O(fragments) pointer slicing —
+//! no copies — matching how a real gateway stack would hold them.
+
+use crate::protocol::Protocol;
+use bytes::Bytes;
+
+/// One protocol frame of a fragmented payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Index of this fragment within the message.
+    pub index: u16,
+    /// Total fragments in the message.
+    pub total: u16,
+    /// The payload slice (zero-copy view into the original).
+    pub payload: Bytes,
+}
+
+/// Fragment `payload` for `protocol`. Unlimited-payload protocols yield
+/// a single fragment. Panics if the message would need more than
+/// `u16::MAX` fragments (no real deployment fragments that far).
+pub fn fragment(protocol: Protocol, payload: &Bytes) -> Vec<Fragment> {
+    let mtu = protocol
+        .max_payload_bytes()
+        .unwrap_or(payload.len().max(1));
+    let total_usize = payload.len().div_ceil(mtu).max(1);
+    assert!(
+        total_usize <= u16::MAX as usize,
+        "message needs {total_usize} fragments — not a sane use of {}",
+        protocol.name()
+    );
+    let total = total_usize as u16;
+    (0..total)
+        .map(|i| {
+            let start = i as usize * mtu;
+            let end = (start + mtu).min(payload.len());
+            Fragment {
+                index: i,
+                total,
+                payload: payload.slice(start..end),
+            }
+        })
+        .collect()
+}
+
+/// Reassemble fragments into the original payload. Fragments may arrive
+/// in any order; duplicates are tolerated (last write wins). Returns
+/// `None` if any fragment is missing or the headers are inconsistent.
+pub fn reassemble(fragments: &[Fragment]) -> Option<Bytes> {
+    let first = fragments.first()?;
+    let total = first.total as usize;
+    if total == 0 || fragments.iter().any(|f| f.total != first.total) {
+        return None;
+    }
+    let mut slots: Vec<Option<&Fragment>> = vec![None; total];
+    for f in fragments {
+        let idx = f.index as usize;
+        if idx >= total {
+            return None;
+        }
+        slots[idx] = Some(f);
+    }
+    if slots.iter().any(|s| s.is_none()) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(fragments.iter().map(|f| f.payload.len()).sum());
+    for s in slots {
+        out.extend_from_slice(&s.expect("checked").payload);
+    }
+    Some(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from((0..n).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn roundtrip_over_constrained_protocols() {
+        for proto in [Protocol::Zigbee, Protocol::Lora, Protocol::Sigfox] {
+            let p = payload(1_000);
+            let frags = fragment(proto, &p);
+            let mtu = proto.max_payload_bytes().unwrap();
+            assert_eq!(frags.len(), 1_000usize.div_ceil(mtu));
+            assert!(frags.iter().all(|f| f.payload.len() <= mtu));
+            assert_eq!(reassemble(&frags).unwrap(), p, "{}", proto.name());
+        }
+    }
+
+    #[test]
+    fn unconstrained_protocol_is_single_fragment() {
+        let p = payload(1_000_000);
+        let frags = fragment(Protocol::Fiber, &p);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].payload, p);
+    }
+
+    #[test]
+    fn fragmentation_is_zero_copy() {
+        let p = payload(444);
+        let frags = fragment(Protocol::Lora, &p);
+        // A Bytes slice of the same allocation shares its pointer range.
+        let base = p.as_ptr() as usize;
+        for f in &frags {
+            let fp = f.payload.as_ptr() as usize;
+            assert!(
+                fp >= base && fp < base + p.len(),
+                "fragment must alias the original buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_fragments_reassemble() {
+        let p = payload(500);
+        let mut frags = fragment(Protocol::Zigbee, &p);
+        frags.reverse();
+        frags.push(frags[0].clone()); // duplicate
+        assert_eq!(reassemble(&frags).unwrap(), p);
+    }
+
+    #[test]
+    fn missing_fragment_fails() {
+        let p = payload(500);
+        let mut frags = fragment(Protocol::Zigbee, &p);
+        frags.remove(2);
+        assert!(reassemble(&frags).is_none());
+    }
+
+    #[test]
+    fn inconsistent_headers_fail() {
+        let p = payload(300);
+        let mut frags = fragment(Protocol::Zigbee, &p);
+        frags[1].total = 99;
+        assert!(reassemble(&frags).is_none());
+        assert!(reassemble(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_payload_is_one_empty_fragment() {
+        let p = Bytes::new();
+        let frags = fragment(Protocol::Lora, &p);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(reassemble(&frags).unwrap(), p);
+    }
+}

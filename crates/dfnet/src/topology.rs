@@ -1,0 +1,336 @@
+//! The typed network graph.
+//!
+//! Figure 3's components — connected devices, DF servers, master nodes,
+//! the Internet, a datacenter — become nodes; links carry a [`Link`]
+//! model. Routing is shortest-latency Dijkstra for a reference message
+//! size; message timing then follows the selected path hop by hop.
+
+use crate::link::Link;
+use crate::protocol::Protocol;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+use std::collections::BinaryHeap;
+
+/// Node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A connected IoT device (sensor, actuator, phone).
+    Device,
+    /// A DF server (worker).
+    DfServer,
+    /// An edge gateway (receives local requests).
+    EdgeGateway,
+    /// A DCC gateway (receives Internet computing requests).
+    DccGateway,
+    /// A master node coordinating a local cluster (indirect requests).
+    Master,
+    /// An Internet exchange / metro PoP.
+    InternetPop,
+    /// A remote cloud datacenter.
+    Datacenter,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Edge {
+    to: NodeId,
+    link: Link,
+}
+
+/// A network topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    adj: Vec<Vec<Edge>>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.kinds.push(kind);
+        self.adj.push(Vec::new());
+        NodeId(self.kinds.len() - 1)
+    }
+
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.0]
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Add a bidirectional link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
+        assert!(a != b, "self-loops are not meaningful");
+        assert!(a.0 < self.n_nodes() && b.0 < self.n_nodes());
+        self.adj[a.0].push(Edge { to: b, link });
+        self.adj[b.0].push(Edge { to: a, link });
+    }
+
+    /// Nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == kind)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Shortest path from `src` to `dst` minimising one-way latency of a
+    /// message of `payload_bytes`. Returns the hop list (excluding `src`)
+    /// and the total time, or `None` if unreachable.
+    pub fn route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+    ) -> Option<(Vec<NodeId>, SimDuration)> {
+        #[derive(PartialEq, Eq)]
+        struct State {
+            cost_us: i64,
+            node: NodeId,
+        }
+        impl Ord for State {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                o.cost_us
+                    .cmp(&self.cost_us)
+                    .then_with(|| o.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for State {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+
+        let n = self.n_nodes();
+        assert!(src.0 < n && dst.0 < n);
+        let mut dist = vec![i64::MAX; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.0] = 0;
+        heap.push(State {
+            cost_us: 0,
+            node: src,
+        });
+        while let Some(State { cost_us, node }) = heap.pop() {
+            if node == dst {
+                break;
+            }
+            if cost_us > dist[node.0] {
+                continue;
+            }
+            for e in &self.adj[node.0] {
+                let w = e.link.transfer_time(payload_bytes).as_micros();
+                let next = cost_us + w;
+                if next < dist[e.to.0] {
+                    dist[e.to.0] = next;
+                    prev[e.to.0] = Some(node);
+                    heap.push(State {
+                        cost_us: next,
+                        node: e.to,
+                    });
+                }
+            }
+        }
+        if dist[dst.0] == i64::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur.0] {
+            if p != src {
+                path.push(p);
+            }
+            cur = p;
+        }
+        path.reverse();
+        Some((path, SimDuration::from_micros(dist[dst.0])))
+    }
+
+    /// One-way latency between two nodes, panicking if unreachable —
+    /// topology construction bugs should fail fast.
+    pub fn latency(&self, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimDuration {
+        self.route(src, dst, payload_bytes)
+            .unwrap_or_else(|| panic!("no route {src:?} → {dst:?}"))
+            .1
+    }
+}
+
+/// A ready-made building cluster topology, per Figure 3/5:
+/// devices —(low-power)— edge gateway —(LAN)— workers —(LAN)— master,
+/// master —(fiber)— Internet PoP —(WAN)— datacenter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildingTopology {
+    pub topo: Topology,
+    pub devices: Vec<NodeId>,
+    pub edge_gateway: NodeId,
+    pub dcc_gateway: NodeId,
+    pub master: NodeId,
+    pub workers: Vec<NodeId>,
+    pub pop: NodeId,
+    pub datacenter: NodeId,
+}
+
+impl BuildingTopology {
+    /// Build a cluster of `n_workers` DF servers and `n_devices` IoT
+    /// devices, with `device_protocol` on the sensor side.
+    pub fn new(n_workers: usize, n_devices: usize, device_protocol: Protocol) -> Self {
+        assert!(n_workers > 0);
+        let mut t = Topology::new();
+        let edge_gateway = t.add_node(NodeKind::EdgeGateway);
+        let dcc_gateway = t.add_node(NodeKind::DccGateway);
+        let master = t.add_node(NodeKind::Master);
+        let pop = t.add_node(NodeKind::InternetPop);
+        let datacenter = t.add_node(NodeKind::Datacenter);
+        let lan = Link::new(Protocol::EthernetLan);
+        t.connect(edge_gateway, master, lan);
+        t.connect(dcc_gateway, master, lan);
+        // Master reaches the metro PoP by fiber (the Q.rad uplink of §II-B),
+        // and the PoP reaches the remote datacenter over the WAN.
+        t.connect(master, pop, Link::new(Protocol::Fiber));
+        t.connect(pop, datacenter, Link::new(Protocol::WanInternet));
+        let workers: Vec<NodeId> = (0..n_workers)
+            .map(|_| {
+                let w = t.add_node(NodeKind::DfServer);
+                t.connect(w, master, lan);
+                t.connect(w, edge_gateway, lan);
+                t.connect(w, dcc_gateway, lan);
+                w
+            })
+            .collect();
+        let devices: Vec<NodeId> = (0..n_devices)
+            .map(|_| {
+                let d = t.add_node(NodeKind::Device);
+                t.connect(d, edge_gateway, Link::new(device_protocol));
+                d
+            })
+            .collect();
+        BuildingTopology {
+            topo: t,
+            devices,
+            edge_gateway,
+            dcc_gateway,
+            master,
+            workers,
+            pop,
+            datacenter,
+        }
+    }
+
+    /// Direct local request: device → worker (via the edge gateway LAN),
+    /// one way (§II-C "the edge user has a direct connection").
+    pub fn direct_latency(&self, device: NodeId, worker: NodeId, bytes: usize) -> SimDuration {
+        self.topo.latency(device, worker, bytes)
+    }
+
+    /// Indirect local request: device → master → worker (§II-C "the
+    /// request is sent to the master node that will schedule it"). The
+    /// master hop is forced even if a shorter path exists.
+    pub fn indirect_latency(&self, device: NodeId, worker: NodeId, bytes: usize) -> SimDuration {
+        self.topo.latency(device, self.master, bytes) + self.topo.latency(self.master, worker, bytes)
+    }
+
+    /// Cloud round-trip: device → datacenter → device.
+    pub fn cloud_rtt(&self, device: NodeId, req_bytes: usize, rep_bytes: usize) -> SimDuration {
+        self.topo.latency(device, self.datacenter, req_bytes)
+            + self.topo.latency(self.datacenter, device, rep_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn building() -> BuildingTopology {
+        BuildingTopology::new(4, 2, Protocol::Wifi)
+    }
+
+    #[test]
+    fn routing_finds_shortest_path() {
+        let b = building();
+        let (path, lat) = b
+            .topo
+            .route(b.devices[0], b.workers[0], 500)
+            .expect("route exists");
+        // device → edge gateway → worker.
+        assert_eq!(path.len(), 2);
+        assert!(lat > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn indirect_pays_the_master_hop() {
+        // §II-C: "indirect requests ... imply to pay an additional
+        // latency cost in the processing of requests."
+        let b = building();
+        let d = b.devices[0];
+        let w = b.workers[1];
+        let direct = b.direct_latency(d, w, 500);
+        let indirect = b.indirect_latency(d, w, 500);
+        assert!(
+            indirect > direct,
+            "indirect {indirect} must exceed direct {direct}"
+        );
+    }
+
+    #[test]
+    fn cloud_rtt_dwarfs_local() {
+        let b = building();
+        let d = b.devices[0];
+        let local = b.direct_latency(d, b.workers[0], 1_000);
+        let cloud = b.cloud_rtt(d, 1_000, 1_000);
+        assert!(
+            cloud.as_secs_f64() > 5.0 * local.as_secs_f64(),
+            "cloud {cloud} vs local {local}"
+        );
+    }
+
+    #[test]
+    fn lora_device_much_slower_than_wifi_device() {
+        let wifi = BuildingTopology::new(2, 1, Protocol::Wifi);
+        let lora = BuildingTopology::new(2, 1, Protocol::Lora);
+        let lw = wifi.direct_latency(wifi.devices[0], wifi.workers[0], 100);
+        let ll = lora.direct_latency(lora.devices[0], lora.workers[0], 100);
+        assert!(ll.as_secs_f64() > 10.0 * lw.as_secs_f64());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Device);
+        let b = t.add_node(NodeKind::DfServer);
+        assert!(t.route(a, b, 10).is_none());
+    }
+
+    #[test]
+    fn nodes_of_kind_filters() {
+        let b = building();
+        assert_eq!(b.topo.nodes_of_kind(NodeKind::DfServer).len(), 4);
+        assert_eq!(b.topo.nodes_of_kind(NodeKind::Device).len(), 2);
+        assert_eq!(b.topo.nodes_of_kind(NodeKind::Datacenter).len(), 1);
+    }
+
+    #[test]
+    fn route_to_self_is_empty_and_free() {
+        let b = building();
+        let (path, lat) = b.topo.route(b.master, b.master, 100).unwrap();
+        assert!(path.is_empty() || path == vec![b.master]);
+        assert_eq!(lat, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Device);
+        t.connect(a, a, Link::new(Protocol::Wifi));
+    }
+}

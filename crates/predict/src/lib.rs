@@ -1,0 +1,24 @@
+//! # predict — heat-demand prediction
+//!
+//! §III-C: "A solution to manage the variability in heat demand is to
+//! build a predictive computing platform, with a model to predict the
+//! heat demand and the thermosensitivity in houses equipped with DF
+//! servers. Several studies reveal that the thermosensitivity is in
+//! general correlated to the external weather."
+//!
+//! - [`regression`]: ordinary least squares and ridge regression via
+//!   normal equations (features are small here; no LAPACK needed).
+//! - [`thermo`]: thermosensitivity estimation — recover the slope
+//!   (W/K) and heating threshold (°C) from (outdoor temp, demand)
+//!   observations.
+//! - [`forecast`]: demand forecasters (seasonal-naive, exponential
+//!   smoothing, weather-feature ridge regression) behind one trait.
+//! - [`eval`]: MAE / RMSE / MAPE and walk-forward evaluation.
+
+pub mod eval;
+pub mod forecast;
+pub mod regression;
+pub mod thermo;
+
+pub use forecast::{Forecaster, RidgeWeather, SeasonalNaive, Ses};
+pub use thermo::ThermoFit;

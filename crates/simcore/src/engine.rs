@@ -1,0 +1,312 @@
+//! The simulation engine: drives a user-supplied [`Model`] by popping the
+//! future-event list and dispatching each event to the model, which may
+//! schedule further events through the [`Scheduler`] facade.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event model. Implementations own all simulation state and
+/// receive every event through [`Model::handle`].
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event occurring at time `t`; schedule follow-ups via `sched`.
+    fn handle(&mut self, t: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Called once when the engine starts, to seed initial events.
+    fn init(&mut self, _sched: &mut Scheduler<Self::Event>) {}
+}
+
+/// Scheduling facade handed to the model during event handling.
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    horizon: SimTime,
+    stopped: bool,
+}
+
+impl<E> Scheduler<E> {
+    fn new(horizon: SimTime) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            horizon,
+            stopped: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// End of the simulation horizon (events at or after it never fire).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Schedule `event` after `delay`. Panics on negative delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) -> EventId {
+        assert!(!delay.is_negative(), "negative delay {delay:?}");
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.
+    pub fn at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule `event` immediately (after all events already queued for
+    /// the current instant, per the FIFO tie-break).
+    pub fn immediately(&mut self, event: E) -> EventId {
+        self.queue.schedule(self.now, event)
+    }
+
+    /// Cancel a scheduled event. Returns whether it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Request the engine to stop after the current event completes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of events dispatched.
+    pub events: u64,
+    /// Simulation time when the run ended.
+    pub end_time: SimTime,
+    /// Why the run ended.
+    pub reason: StopReason,
+}
+
+/// Why an engine run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The future-event list drained.
+    QueueEmpty,
+    /// The next event lay at or beyond the horizon.
+    HorizonReached,
+    /// The model called [`Scheduler::stop`].
+    Stopped,
+    /// The event budget was exhausted (runaway guard).
+    EventBudget,
+}
+
+/// The discrete-event engine.
+pub struct Engine<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    /// Hard cap on dispatched events; guards against accidental infinite
+    /// self-scheduling loops in models. Default: `u64::MAX`.
+    pub event_budget: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine that will run until `horizon` (exclusive).
+    pub fn new(model: M, horizon: SimTime) -> Self {
+        Engine {
+            model,
+            sched: Scheduler::new(horizon),
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Run to completion and return the model plus a run summary.
+    pub fn run(mut self) -> (M, RunSummary) {
+        self.model.init(&mut self.sched);
+        let mut events = 0u64;
+        let reason = loop {
+            if self.sched.stopped {
+                break StopReason::Stopped;
+            }
+            if events >= self.event_budget {
+                break StopReason::EventBudget;
+            }
+            let Some(next) = self.sched.queue.peek_time() else {
+                break StopReason::QueueEmpty;
+            };
+            if next >= self.sched.horizon {
+                break StopReason::HorizonReached;
+            }
+            let (t, ev) = self.sched.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.sched.now, "time went backwards");
+            self.sched.now = t;
+            self.model.handle(t, ev, &mut self.sched);
+            events += 1;
+        };
+        let end_time = match reason {
+            StopReason::HorizonReached => self.sched.horizon,
+            _ => self.sched.now,
+        };
+        (
+            self.model,
+            RunSummary {
+                events,
+                end_time,
+                reason,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that counts down: each event schedules the next one until zero.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Model for Countdown {
+        type Event = ();
+        fn init(&mut self, sched: &mut Scheduler<()>) {
+            sched.after(SimDuration::SECOND, ());
+        }
+        fn handle(&mut self, t: SimTime, _: (), sched: &mut Scheduler<()>) {
+            self.fired_at.push(t);
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                sched.after(SimDuration::SECOND, ());
+            }
+        }
+    }
+
+    #[test]
+    fn countdown_runs_to_queue_empty() {
+        let (m, s) = Engine::new(
+            Countdown {
+                remaining: 5,
+                fired_at: vec![],
+            },
+            SimTime::from_secs(100),
+        )
+        .run();
+        assert_eq!(m.remaining, 0);
+        assert_eq!(s.events, 5);
+        assert_eq!(s.reason, StopReason::QueueEmpty);
+        assert_eq!(
+            m.fired_at,
+            (1..=5).map(SimTime::from_secs).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn horizon_cuts_off() {
+        let (m, s) = Engine::new(
+            Countdown {
+                remaining: 1000,
+                fired_at: vec![],
+            },
+            SimTime::from_secs(3),
+        )
+        .run();
+        // Events at t=1,2 fire; t=3 is at the horizon and does not.
+        assert_eq!(m.fired_at.len(), 2);
+        assert_eq!(s.reason, StopReason::HorizonReached);
+        assert_eq!(s.end_time, SimTime::from_secs(3));
+    }
+
+    struct Stopper;
+    impl Model for Stopper {
+        type Event = u32;
+        fn init(&mut self, sched: &mut Scheduler<u32>) {
+            for i in 0..10 {
+                sched.after(SimDuration::from_secs(i as i64 + 1), i);
+            }
+        }
+        fn handle(&mut self, _t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            if ev == 2 {
+                sched.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_stop_engine() {
+        let (_, s) = Engine::new(Stopper, SimTime::from_secs(100)).run();
+        assert_eq!(s.reason, StopReason::Stopped);
+        assert_eq!(s.events, 3);
+        assert_eq!(s.end_time, SimTime::from_secs(3));
+    }
+
+    struct Runaway;
+    impl Model for Runaway {
+        type Event = ();
+        fn init(&mut self, sched: &mut Scheduler<()>) {
+            sched.immediately(());
+        }
+        fn handle(&mut self, _t: SimTime, _: (), sched: &mut Scheduler<()>) {
+            sched.immediately(());
+        }
+    }
+
+    #[test]
+    fn event_budget_guards_runaway_models() {
+        let mut engine = Engine::new(Runaway, SimTime::from_secs(1));
+        engine.event_budget = 1_000;
+        let (_, s) = engine.run();
+        assert_eq!(s.reason, StopReason::EventBudget);
+        assert_eq!(s.events, 1_000);
+    }
+
+    struct Canceller {
+        cancelled_fired: bool,
+    }
+    impl Model for Canceller {
+        type Event = &'static str;
+        fn init(&mut self, sched: &mut Scheduler<&'static str>) {
+            let doomed = sched.after(SimDuration::from_secs(5), "doomed");
+            sched.after(SimDuration::from_secs(1), "keep");
+            // Cancel from init itself.
+            assert!(sched.cancel(doomed));
+        }
+        fn handle(&mut self, _t: SimTime, ev: &'static str, _s: &mut Scheduler<&'static str>) {
+            if ev == "doomed" {
+                self.cancelled_fired = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let (m, s) = Engine::new(
+            Canceller {
+                cancelled_fired: false,
+            },
+            SimTime::from_secs(100),
+        )
+        .run();
+        assert!(!m.cancelled_fired);
+        assert_eq!(s.events, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn init(&mut self, sched: &mut Scheduler<()>) {
+                sched.after(SimDuration::from_secs(10), ());
+            }
+            fn handle(&mut self, _t: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.at(SimTime::from_secs(1), ());
+            }
+        }
+        let _ = Engine::new(Bad, SimTime::from_secs(100)).run();
+    }
+}

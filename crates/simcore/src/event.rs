@@ -1,0 +1,243 @@
+//! The future-event list: a priority queue ordered by time with a
+//! **stable FIFO tie-break** — two events scheduled for the same instant
+//! fire in the order they were scheduled. This is what makes simulations
+//! deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Cancellation is O(1) amortised: cancelled ids are recorded in a sorted
+/// set and matching entries are skipped lazily at pop time.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    /// Sequence numbers of events scheduled but not yet fired/cancelled.
+    pending: std::collections::HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// Panics if `time` is `SimTime::MAX` (reserved as "never").
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(time < SimTime::MAX, "cannot schedule at SimTime::MAX");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        });
+        self.pending.insert(seq);
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event
+    /// was still pending (i.e. this call actually removed it).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let e = self.heap.pop()?;
+        self.pending.remove(&e.id.0);
+        Some((e.time, e.payload))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id.0) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Remove all events, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.pending.len();
+        self.heap.clear();
+        self.cancelled.clear();
+        self.pending.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "b");
+        q.schedule(t(1), "a");
+        q.schedule(t(9), "c");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.pop(), Some((t(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(3), 3);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(3)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(t(i), i)).collect();
+        assert_eq!(q.len(), 10);
+        q.cancel(ids[4]);
+        assert_eq!(q.len(), 9);
+        q.pop();
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.clear(), 8);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 10);
+        q.schedule(t(20), 20);
+        assert_eq!(q.pop().unwrap().1, 10);
+        q.schedule(t(15), 15);
+        q.schedule(t(5), 5); // in the past relative to last pop; queue permits it
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 15);
+        assert_eq!(q.pop().unwrap().1, 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_at_max_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, ());
+    }
+
+    #[test]
+    fn large_volume_ordering() {
+        // Pseudo-random-ish times via a simple LCG to avoid RNG deps here.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.schedule(SimTime::ZERO + SimDuration::from_micros((x >> 20) as i64), x);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last);
+            last = time;
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Time-series recording with calendar aggregation.
+//!
+//! Figure 4 of the paper — mean room temperature per month from November
+//! to May — is exactly a [`TimeSeries`] reduced by [`TimeSeries::monthly`].
+
+use super::Summary;
+use crate::time::{Calendar, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A recorded sequence of (time, value) samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+/// Aggregate of one calendar month of samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonthlyAggregate {
+    /// Month index relative to the calendar epoch (0-based).
+    pub rel_month: u32,
+    /// Calendar month number as humans write it (1 = January … 12).
+    pub month_number: u32,
+    /// Abbreviated month name.
+    pub month_name: &'static str,
+    /// Statistics of the samples that fell in this month.
+    pub stats: Summary,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Record a sample. Samples must be pushed in non-decreasing time
+    /// order (the engine guarantees this naturally).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        assert!(!v.is_nan(), "TimeSeries::push(NaN)");
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "TimeSeries: out-of-order sample");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Summary over the whole series.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::new();
+        for &v in &self.values {
+            s.observe(v);
+        }
+        s
+    }
+
+    /// Group samples by calendar month (months that received no samples
+    /// are omitted). Months are keyed by *relative* month index so a
+    /// multi-year series yields more than 12 groups.
+    pub fn monthly(&self, cal: Calendar) -> Vec<MonthlyAggregate> {
+        let mut out: Vec<MonthlyAggregate> = Vec::new();
+        for (t, v) in self.iter() {
+            // Relative month including year wraps: derive from day index.
+            let years = t.day_index().div_euclid(365) as u32;
+            let m = cal.month_index(t);
+            let rel = years * 12 + m.rel;
+            match out.last_mut() {
+                Some(last) if last.rel_month == rel => last.stats.observe(v),
+                _ => {
+                    let mut stats = Summary::new();
+                    stats.observe(v);
+                    out.push(MonthlyAggregate {
+                        rel_month: rel,
+                        month_number: m.number(),
+                        month_name: m.name(),
+                        stats,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Values resampled as daily means (day index, mean).
+    pub fn daily_means(&self) -> Vec<(i64, f64)> {
+        let mut out: Vec<(i64, Summary)> = Vec::new();
+        for (t, v) in self.iter() {
+            let d = t.day_index();
+            match out.last_mut() {
+                Some((day, s)) if *day == d => s.observe(v),
+                _ => {
+                    let mut s = Summary::new();
+                    s.observe(v);
+                    out.push((d, s));
+                }
+            }
+        }
+        out.into_iter().map(|(d, s)| (d, s.mean())).collect()
+    }
+
+    /// Export as CSV text (`time_s,value` rows with a header).
+    pub fn to_csv(&self, value_name: &str) -> String {
+        let mut s = String::with_capacity(self.len() * 16 + 16);
+        s.push_str("time_s,");
+        s.push_str(value_name);
+        s.push('\n');
+        for (t, v) in self.iter() {
+            s.push_str(&format!("{:.6},{:.6}\n", t.as_secs_f64(), v));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn monthly_grouping_november_epoch() {
+        let mut ts = TimeSeries::new();
+        // One sample per day for 120 days from Nov 1.
+        for d in 0..120 {
+            ts.push(
+                SimTime::ZERO + SimDuration::from_days(d) + SimDuration::HOUR,
+                d as f64,
+            );
+        }
+        let months = ts.monthly(Calendar::NOVEMBER_EPOCH);
+        assert_eq!(months[0].month_name, "Nov");
+        assert_eq!(months[0].stats.count(), 30);
+        assert_eq!(months[1].month_name, "Dec");
+        assert_eq!(months[1].stats.count(), 31);
+        assert_eq!(months[2].month_name, "Jan");
+        assert_eq!(months[2].stats.count(), 31);
+        assert_eq!(months[3].month_name, "Feb");
+        assert_eq!(months[3].stats.count(), 28);
+        // Mean of Nov samples is mean of 0..30 = 14.5.
+        assert!((months[0].stats.mean() - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monthly_handles_multi_year() {
+        let mut ts = TimeSeries::new();
+        for d in 0..(365 + 40) {
+            ts.push(SimTime::ZERO + SimDuration::from_days(d), 1.0);
+        }
+        let months = ts.monthly(Calendar::JANUARY_EPOCH);
+        assert_eq!(months.len(), 14); // 12 + Jan + Feb of year 2
+        assert_eq!(months[12].month_name, "Jan");
+        assert_eq!(months[12].rel_month, 12);
+    }
+
+    #[test]
+    fn daily_means() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(10), 1.0);
+        ts.push(SimTime::from_secs(20), 3.0);
+        ts.push(SimTime::ZERO + SimDuration::from_days(1), 10.0);
+        let days = ts.daily_means();
+        assert_eq!(days, vec![(0, 2.0), (1, 10.0)]);
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 2.5);
+        let csv = ts.to_csv("temp_c");
+        assert!(csv.starts_with("time_s,temp_c\n"));
+        assert!(csv.contains("1.000000,2.500000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(10), 1.0);
+        ts.push(SimTime::from_secs(5), 1.0);
+    }
+}

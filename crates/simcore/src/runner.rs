@@ -1,0 +1,208 @@
+//! Monte-Carlo replication runner.
+//!
+//! Experiments run `n` independent replications, each a fully
+//! deterministic simulation seeded from `master.replication(i)`, executed
+//! in parallel with rayon (`par_iter` over independent work — the pattern
+//! the session's hpc-parallel guides prescribe). Results are reduced into
+//! per-metric [`Summary`]s with 95 % confidence intervals.
+
+use crate::metrics::Summary;
+use crate::rng::RngStreams;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// The outcome of one replication: named scalar metrics.
+pub type MetricRow = BTreeMap<String, f64>;
+
+/// Aggregated outcome across replications.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Per-metric summaries across replications.
+    pub metrics: BTreeMap<String, Summary>,
+    /// Number of replications.
+    pub replications: usize,
+}
+
+impl Aggregate {
+    /// Mean of a metric across replications. Panics if absent — a typo'd
+    /// metric name should fail an experiment loudly.
+    pub fn mean(&self, name: &str) -> f64 {
+        self.get(name).mean()
+    }
+
+    /// 95 % CI half-width of a metric.
+    pub fn ci95(&self, name: &str) -> f64 {
+        self.get(name).ci95_halfwidth()
+    }
+
+    /// Full summary of a metric.
+    pub fn get(&self, name: &str) -> &Summary {
+        self.metrics
+            .get(name)
+            .unwrap_or_else(|| panic!("metric `{name}` was not reported by replications"))
+    }
+
+    /// All metric names in deterministic order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.keys().map(|s| s.as_str())
+    }
+}
+
+/// Run `n` replications of `sim` in parallel and aggregate their metrics.
+///
+/// `sim` receives the replication index and a derived [`RngStreams`]; it
+/// must be deterministic given those inputs.
+pub fn replicate<F>(master: RngStreams, n: usize, sim: F) -> Aggregate
+where
+    F: Fn(usize, RngStreams) -> MetricRow + Sync,
+{
+    assert!(n > 0, "need at least one replication");
+    let rows: Vec<MetricRow> = (0..n)
+        .into_par_iter()
+        .map(|i| sim(i, master.replication(i as u64)))
+        .collect();
+    aggregate(rows)
+}
+
+/// Sequential variant, for debugging or when a simulation is itself
+/// internally parallel.
+pub fn replicate_seq<F>(master: RngStreams, n: usize, mut sim: F) -> Aggregate
+where
+    F: FnMut(usize, RngStreams) -> MetricRow,
+{
+    assert!(n > 0, "need at least one replication");
+    let rows: Vec<MetricRow> = (0..n).map(|i| sim(i, master.replication(i as u64))).collect();
+    aggregate(rows)
+}
+
+fn aggregate(rows: Vec<MetricRow>) -> Aggregate {
+    let n = rows.len();
+    let mut metrics: BTreeMap<String, Summary> = BTreeMap::new();
+    for row in &rows {
+        for (k, &v) in row {
+            metrics.entry(k.clone()).or_default().observe(v);
+        }
+    }
+    // Guard against replications reporting different metric sets — a
+    // frequent source of silently-wrong aggregate statistics.
+    for (k, s) in &metrics {
+        assert!(
+            s.count() as usize == n,
+            "metric `{k}` reported by {}/{n} replications",
+            s.count()
+        );
+    }
+    Aggregate {
+        metrics,
+        replications: n,
+    }
+}
+
+/// Convenience macro-free builder for a [`MetricRow`].
+pub fn row(pairs: &[(&str, f64)]) -> MetricRow {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let master = RngStreams::new(99);
+        let sim = |_i: usize, s: RngStreams| {
+            let mut r = s.stream("x");
+            row(&[("v", r.gen::<f64>())])
+        };
+        let par = replicate(master, 64, sim);
+        let seq = replicate_seq(master, 64, sim);
+        assert_eq!(par.mean("v"), seq.mean("v"));
+        assert_eq!(par.ci95("v"), seq.ci95("v"));
+    }
+
+    #[test]
+    fn replications_differ() {
+        let agg = replicate(RngStreams::new(7), 16, |_i, s| {
+            let mut r = s.stream("x");
+            row(&[("v", r.gen::<f64>())])
+        });
+        assert!(agg.get("v").std() > 0.0, "replications must not be identical");
+        assert_eq!(agg.replications, 16);
+    }
+
+    #[test]
+    fn deterministic_given_index() {
+        let agg = replicate(RngStreams::new(7), 8, |i, _s| row(&[("i", i as f64)]));
+        assert!((agg.mean("i") - 3.5).abs() < 1e-12);
+        assert_eq!(agg.get("i").min(), 0.0);
+        assert_eq!(agg.get("i").max(), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_metric_sets_panic() {
+        let _ = replicate_seq(RngStreams::new(1), 4, |i, _s| {
+            if i == 2 {
+                row(&[("a", 1.0), ("extra", 2.0)])
+            } else {
+                row(&[("a", 1.0)])
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_metric_panics_on_lookup() {
+        let agg = replicate_seq(RngStreams::new(1), 2, |_i, _s| row(&[("a", 1.0)]));
+        let _ = agg.mean("b");
+    }
+}
+
+/// Run a deterministic parameter sweep in parallel: one simulation per
+/// point, each seeded from `master.replication(index)` so the sweep is
+/// reproducible and insensitive to rayon's scheduling order. Results
+/// come back in input order.
+///
+/// ```
+/// use simcore::runner::sweep;
+/// use simcore::RngStreams;
+///
+/// let loads = [0.5, 1.0, 2.0];
+/// let out = sweep(RngStreams::new(7), &loads, |&load, _streams| load * 10.0);
+/// assert_eq!(out, vec![5.0, 10.0, 20.0]);
+/// ```
+pub fn sweep<P, R, F>(master: RngStreams, points: &[P], sim: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, RngStreams) -> R + Sync,
+{
+    points
+        .par_iter()
+        .enumerate()
+        .map(|(i, p)| sim(p, master.replication(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn sweep_preserves_order_and_determinism() {
+        let master = RngStreams::new(31);
+        let points: Vec<u64> = (0..64).collect();
+        let run = |p: &u64, s: RngStreams| {
+            let mut r = s.stream("x");
+            (*p, r.gen::<u64>())
+        };
+        let a = sweep(master, &points, run);
+        let b = sweep(master, &points, run);
+        assert_eq!(a, b, "two sweeps must be identical");
+        assert!(a.iter().enumerate().all(|(i, (p, _))| *p == i as u64));
+        // Different points draw different randomness.
+        assert_ne!(a[0].1, a[1].1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Structured event tracing.
+//!
+//! A [`Trace`] records tagged events with their simulation time for
+//! post-hoc analysis and CSV export. Tracing is opt-in per component and
+//! costs one `Vec` push per record; experiments that don't need traces
+//! simply never construct one.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One trace record: a time, a tag, and free-form fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    pub t: SimTime,
+    pub tag: String,
+    pub fields: Vec<(String, String)>,
+}
+
+/// An append-only trace of tagged simulation events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<Record>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: all `record` calls are no-ops. Lets components
+    /// take a `&mut Trace` unconditionally without branching at call sites.
+    pub fn disabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, t: SimTime, tag: &str, fields: &[(&str, String)]) {
+        if !self.enabled {
+            return;
+        }
+        self.records.push(Record {
+            t,
+            tag: tag.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Records carrying a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a Record> + 'a {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Count of records with a given tag.
+    pub fn count_tag(&self, tag: &str) -> usize {
+        self.with_tag(tag).count()
+    }
+
+    /// Export to CSV (`time_s,tag,key=value;key=value`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,tag,fields\n");
+        for r in &self.records {
+            let fields: Vec<String> = r.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(
+                "{:.6},{},{}\n",
+                r.t.as_secs_f64(),
+                r.tag,
+                fields.join(";")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_when_enabled() {
+        let mut tr = Trace::enabled();
+        tr.record(SimTime::from_secs(1), "arrival", &[("job", "42".to_string())]);
+        tr.record(SimTime::from_secs(2), "departure", &[]);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.count_tag("arrival"), 1);
+        let rec = tr.with_tag("arrival").next().unwrap();
+        assert_eq!(rec.fields[0], ("job".to_string(), "42".to_string()));
+    }
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut tr = Trace::disabled();
+        tr.record(SimTime::from_secs(1), "x", &[]);
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut tr = Trace::enabled();
+        tr.record(
+            SimTime::from_secs(3),
+            "offload",
+            &[("from", "c0".to_string()), ("to", "dc".to_string())],
+        );
+        let csv = tr.to_csv();
+        assert!(csv.contains("3.000000,offload,from=c0;to=dc"));
+    }
+}

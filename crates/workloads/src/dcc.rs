@@ -1,0 +1,208 @@
+//! Other Internet (DCC) flows: financial risk batches and BOINC-style
+//! opportunistic bags.
+//!
+//! §II-A: the Qarnot platform "is used by major banks and financial
+//! services in France"; Liu et al.'s first data-furnace application
+//! class is "seasonal and opportunistic applications like those we have
+//! in the BOINC middleware" [6, 8].
+
+use crate::arrival::{business_factor, nonhomogeneous_arrivals, poisson_arrivals};
+use crate::job::{Flow, Job, JobId, JobStream};
+use simcore::dist::lognormal_mean_cv;
+use simcore::time::{SimDuration, SimTime};
+use simcore::RngStreams;
+
+/// Generator for overnight / intraday financial risk batches.
+#[derive(Debug, Clone, Copy)]
+pub struct FinanceConfig {
+    /// Mean submissions per business day.
+    pub batches_per_day: f64,
+    /// Mean work per batch, Gop.
+    pub mean_work_gops: f64,
+    /// Cores per batch (Monte-Carlo risk sweeps parallelise well).
+    pub cores: usize,
+    /// Organisation id to tag jobs with.
+    pub org: u32,
+}
+
+impl FinanceConfig {
+    pub fn bank() -> Self {
+        FinanceConfig {
+            batches_per_day: 24.0,
+            mean_work_gops: 250_000.0, // ≈ 30 core-hours at 2.4 Gops
+            cores: 32,
+            org: 100,
+        }
+    }
+}
+
+/// Generate finance batches over `[0, span)`.
+pub fn finance_jobs(
+    cfg: FinanceConfig,
+    span: SimDuration,
+    streams: &RngStreams,
+    id_base: u64,
+) -> JobStream {
+    let mut rng = streams.stream("dcc-finance");
+    let mean_rate = cfg.batches_per_day / 86_400.0;
+    let peak = mean_rate / 0.45;
+    let arrivals = nonhomogeneous_arrivals(
+        &mut rng,
+        |t| peak * business_factor(t),
+        peak,
+        SimTime::ZERO,
+        SimTime::ZERO + span,
+    );
+    let jobs = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Job {
+            id: JobId(id_base + i as u64),
+            flow: Flow::Dcc,
+            arrival: t,
+            work_gops: lognormal_mean_cv(&mut rng, cfg.mean_work_gops, 0.6),
+            cores: cfg.cores,
+            deadline: None,
+            input_bytes: 5_000_000,
+            output_bytes: 2_000_000,
+            org: cfg.org,
+        })
+        .collect();
+    JobStream::new(jobs)
+}
+
+/// Generator for BOINC-style opportunistic bags-of-tasks: steady trickle
+/// of small independent tasks, deadline-free, preemption-friendly.
+#[derive(Debug, Clone, Copy)]
+pub struct BoincConfig {
+    /// Tasks per hour, around the clock.
+    pub tasks_per_hour: f64,
+    /// Mean work per task, Gop.
+    pub mean_work_gops: f64,
+    pub org: u32,
+}
+
+impl BoincConfig {
+    pub fn standard() -> Self {
+        BoincConfig {
+            tasks_per_hour: 120.0,
+            mean_work_gops: 8_640.0, // ≈ 1 core-hour at 2.4 Gops
+            org: 200,
+        }
+    }
+}
+
+/// Generate BOINC tasks over `[0, span)`.
+pub fn boinc_jobs(
+    cfg: BoincConfig,
+    span: SimDuration,
+    streams: &RngStreams,
+    id_base: u64,
+) -> JobStream {
+    let mut rng = streams.stream("dcc-boinc");
+    let arrivals = poisson_arrivals(
+        &mut rng,
+        cfg.tasks_per_hour / 3_600.0,
+        SimTime::ZERO,
+        SimTime::ZERO + span,
+    );
+    let jobs = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Job {
+            id: JobId(id_base + i as u64),
+            flow: Flow::Dcc,
+            arrival: t,
+            work_gops: lognormal_mean_cv(&mut rng, cfg.mean_work_gops, 1.0),
+            cores: 1,
+            deadline: None,
+            input_bytes: 200_000,
+            output_bytes: 100_000,
+            org: cfg.org,
+        })
+        .collect();
+    JobStream::new(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finance_lands_in_business_hours() {
+        let s = finance_jobs(
+            FinanceConfig::bank(),
+            SimDuration::from_days(28),
+            &RngStreams::new(1),
+            0,
+        );
+        assert!(s.len() > 300, "4 weeks of batches, got {}", s.len());
+        let biz = s
+            .iter()
+            .filter(|j| {
+                let dow = j.arrival.day_index().rem_euclid(7);
+                dow >= 2 && (9.0..18.0).contains(&j.arrival.hour_of_day())
+            })
+            .count();
+        assert!(biz as f64 / s.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn boinc_is_steady_around_the_clock() {
+        let s = boinc_jobs(
+            BoincConfig::standard(),
+            SimDuration::from_days(7),
+            &RngStreams::new(1),
+            0,
+        );
+        let expected = 120.0 * 24.0 * 7.0;
+        assert!((s.len() as f64 - expected).abs() / expected < 0.1);
+        let night = s
+            .iter()
+            .filter(|j| j.arrival.hour_of_day() < 6.0)
+            .count();
+        assert!(
+            (night as f64 / s.len() as f64 - 0.25).abs() < 0.05,
+            "night share should be ~25 %"
+        );
+    }
+
+    #[test]
+    fn finance_batches_are_heavier_than_boinc_tasks() {
+        let f = finance_jobs(
+            FinanceConfig::bank(),
+            SimDuration::from_days(7),
+            &RngStreams::new(2),
+            0,
+        );
+        let b = boinc_jobs(
+            BoincConfig::standard(),
+            SimDuration::from_days(7),
+            &RngStreams::new(2),
+            1_000_000,
+        );
+        let mean = |s: &JobStream| s.total_work_gops() / s.len() as f64;
+        assert!(mean(&f) > 10.0 * mean(&b));
+    }
+
+    #[test]
+    fn id_bases_do_not_collide() {
+        let f = finance_jobs(
+            FinanceConfig::bank(),
+            SimDuration::from_days(3),
+            &RngStreams::new(2),
+            0,
+        );
+        let b = boinc_jobs(
+            BoincConfig::standard(),
+            SimDuration::from_days(3),
+            &RngStreams::new(2),
+            1_000_000,
+        );
+        let merged = f.merge(b);
+        let mut ids: Vec<u64> = merged.iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), merged.len(), "job ids must be unique");
+    }
+}

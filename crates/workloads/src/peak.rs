@@ -1,0 +1,146 @@
+//! Request-peak injection.
+//!
+//! §III-B: "A third problem is the management of requests peak. In the
+//! case there are too many DCC requests, it might be impossible to
+//! schedule the processing of an edge request (the cluster is full)."
+//! Experiments E4/E5 need controllable peaks; [`inject_peak`] multiplies
+//! a base stream's arrival density inside a window by replicating jobs
+//! with jittered arrivals.
+
+use crate::job::{Job, JobId, JobStream};
+use rand::Rng;
+use simcore::time::{SimDuration, SimTime};
+use simcore::RngStreams;
+
+/// Description of a peak episode.
+#[derive(Debug, Clone, Copy)]
+pub struct Peak {
+    /// Start of the peak window.
+    pub start: SimTime,
+    /// Duration of the peak window.
+    pub duration: SimDuration,
+    /// Arrival-density multiplier inside the window (≥ 1).
+    pub factor: f64,
+}
+
+/// Return a new stream where jobs arriving inside the peak window are
+/// replicated `factor − 1` times (in expectation) with arrivals jittered
+/// uniformly inside the window. Replicas get ids above `id_base`.
+pub fn inject_peak(base: &JobStream, peak: Peak, streams: &RngStreams, id_base: u64) -> JobStream {
+    assert!(peak.factor >= 1.0, "peak factor must be ≥ 1");
+    assert!(peak.duration > SimDuration::ZERO);
+    let mut rng = streams.stream("peak-injector");
+    let end = peak.start + peak.duration;
+    let mut jobs: Vec<Job> = base.jobs().to_vec();
+    let mut next_id = id_base;
+    let extra = peak.factor - 1.0;
+    for j in base.jobs() {
+        if j.arrival < peak.start || j.arrival >= end {
+            continue;
+        }
+        // Deterministic replication: floor(extra) copies plus a
+        // Bernoulli for the fractional part.
+        let mut copies = extra.floor() as usize;
+        if rng.gen::<f64>() < extra.fract() {
+            copies += 1;
+        }
+        for _ in 0..copies {
+            let mut c = *j;
+            c.id = JobId(next_id);
+            next_id += 1;
+            let offset = peak.duration.mul_f64(rng.gen::<f64>());
+            c.arrival = peak.start + offset;
+            jobs.push(c);
+        }
+    }
+    JobStream::new(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcc::{boinc_jobs, BoincConfig};
+
+    fn base() -> JobStream {
+        boinc_jobs(
+            BoincConfig::standard(),
+            SimDuration::from_days(1),
+            &RngStreams::new(8),
+            0,
+        )
+    }
+
+    #[test]
+    fn peak_multiplies_window_density() {
+        let b = base();
+        let peak = Peak {
+            start: SimTime::ZERO + SimDuration::from_hours(10),
+            duration: SimDuration::from_hours(2),
+            factor: 10.0,
+        };
+        let peaked = inject_peak(&b, peak, &RngStreams::new(8), 1_000_000);
+        let count =
+            |s: &JobStream| s.window(peak.start, peak.start + peak.duration).count();
+        let before = count(&b) as f64;
+        let after = count(&peaked) as f64;
+        assert!(
+            (after / before - 10.0).abs() < 1.5,
+            "density ratio {}",
+            after / before
+        );
+        // Outside the window nothing changed.
+        let out_before = b.window(SimTime::ZERO, peak.start).count();
+        let out_after = peaked.window(SimTime::ZERO, peak.start).count();
+        assert_eq!(out_before, out_after);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let b = base();
+        let peaked = inject_peak(
+            &b,
+            Peak {
+                start: SimTime::ZERO,
+                duration: SimDuration::from_hours(1),
+                factor: 1.0,
+            },
+            &RngStreams::new(8),
+            1_000_000,
+        );
+        assert_eq!(b.len(), peaked.len());
+    }
+
+    #[test]
+    fn replica_ids_are_fresh_and_unique() {
+        let b = base();
+        let peaked = inject_peak(
+            &b,
+            Peak {
+                start: SimTime::ZERO,
+                duration: SimDuration::from_hours(6),
+                factor: 3.0,
+            },
+            &RngStreams::new(8),
+            1_000_000,
+        );
+        let mut ids: Vec<u64> = peaked.iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), peaked.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_factor_rejected() {
+        inject_peak(
+            &base(),
+            Peak {
+                start: SimTime::ZERO,
+                duration: SimDuration::HOUR,
+                factor: 0.5,
+            },
+            &RngStreams::new(8),
+            0,
+        );
+    }
+}

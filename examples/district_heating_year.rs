@@ -1,0 +1,80 @@
+//! A district-heating operator's year: synthesise a housing stock's
+//! heat demand, recover its thermosensitivity, derive the smart-grid
+//! manager's monthly capacity offers, and price them — the seasonal
+//! economics of the paper's §IV.
+//!
+//! ```sh
+//! cargo run --release --example district_heating_year
+//! ```
+
+use df3::df3_core::smartgrid::{monthly_offers, seasonality_ratio, FleetProfile};
+use df3::economics::pricing::CapacityPricer;
+use df3::predict::thermo;
+use df3::simcore::report::{f2, Table};
+use df3::simcore::time::{Calendar, SimDuration};
+use df3::simcore::RngStreams;
+use df3::thermal::demand::{generate_trace, DemandModel};
+use df3::thermal::weather::{Weather, WeatherConfig};
+
+fn main() {
+    let streams = RngStreams::new(365);
+    let cal = Calendar::JANUARY_EPOCH;
+    let weather = Weather::generate(WeatherConfig::paris(cal), SimDuration::YEAR, &streams);
+
+    // 800 homes heated by Q.rads.
+    let model = DemandModel::residential(800);
+    let trace = generate_trace(model, &weather, SimDuration::HOUR, &streams);
+    println!("generated {} hourly demand samples for 800 homes", trace.len());
+
+    // Recover thermosensitivity from evening samples (§III-C).
+    let samples: Vec<(f64, f64)> = trace
+        .iter()
+        .filter(|s| (18.0..22.0).contains(&s.t.hour_of_day()))
+        .map(|s| (s.outdoor_c, s.demand_w))
+        .collect();
+    let fit = thermo::fit(&samples, (10.0, 20.0));
+    println!(
+        "thermosensitivity: {:.0} W/K below {:.1} °C (r² {:.3})\n",
+        fit.slope_w_per_k, fit.base_c, fit.r2
+    );
+
+    // Monthly mean outdoor temperatures from the generated weather.
+    let mut monthly_outdoor = [0.0f64; 12];
+    for (m, slot) in monthly_outdoor.iter_mut().enumerate() {
+        let a = cal.month_start(m as u32);
+        let b = cal.month_start(m as u32 + 1);
+        *slot = weather.mean_outdoor_c(a, b - SimDuration::HOUR);
+    }
+
+    // Smart-grid offers + pricing for a fleet sized to the stock.
+    let fleet = FleetProfile::qrad_fleet(800);
+    let offers = monthly_offers(&fit, &monthly_outdoor, fleet);
+    let pricer = CapacityPricer::standard();
+    let demand_core_h = 2_000_000.0; // steady customer demand per month
+
+    let mut t = Table::new("district heating year — capacity offers and prices").headers(&[
+        "month",
+        "outdoor (°C)",
+        "duty",
+        "offer (core-h)",
+        "price (€/core-h)",
+    ]);
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    for (m, offer) in offers.iter().enumerate() {
+        let quote = pricer.quote(offer.core_hours, demand_core_h);
+        t.row(&[
+            MONTHS[m].into(),
+            f2(monthly_outdoor[m]),
+            f2(offer.duty),
+            f2(offer.core_hours),
+            format!("{:.4}", quote.price_eur_core_h),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "winter/summer capacity ratio: {:.1}×",
+        seasonality_ratio(&offers)
+    );
+}

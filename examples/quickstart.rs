@@ -1,0 +1,47 @@
+//! Quickstart: stand up a small DF3 deployment and push a morning of
+//! edge traffic through it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use df3::df3_core::{Platform, PlatformConfig};
+use df3::simcore::report::{f2, pct, Table};
+use df3::simcore::time::SimDuration;
+use df3::simcore::RngStreams;
+use df3::workloads::edge::{location_service_jobs, LocationServiceConfig};
+use df3::workloads::Flow;
+
+fn main() {
+    // Four buildings, 16 Q.rads each, winter weather, hybrid peak policy.
+    let mut config = PlatformConfig::small_winter();
+    config.horizon = SimDuration::from_hours(8);
+
+    // City map-serving requests, routed through each cluster's master
+    // node (the "indirect" local flow of the paper's §II-C).
+    let jobs = location_service_jobs(
+        LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+        config.horizon,
+        &RngStreams::new(7),
+        0,
+    );
+    println!(
+        "running {} edge requests through {} DF cores for {}…",
+        jobs.len(),
+        config.total_df_cores(),
+        config.horizon
+    );
+
+    let outcome = Platform::new(config).run(&jobs);
+    let s = &outcome.stats;
+
+    let mut t = Table::new("quickstart results").headers(&["metric", "value"]);
+    t.row(&["edge requests completed".into(), s.edge_completed.get().to_string()]);
+    t.row(&["deadline attainment".into(), pct(s.edge_attainment())]);
+    t.row(&["response p50 (ms)".into(), f2(s.edge_response_ms.p50())]);
+    t.row(&["response p99 (ms)".into(), f2(s.edge_response_ms.p99())]);
+    t.row(&["mean room temperature (°C)".into(), f2(s.room_temp_c.summary().mean())]);
+    t.row(&["fleet energy (kWh)".into(), f2(s.df_total_kwh)]);
+    t.row(&["simulation events".into(), outcome.events.to_string()]);
+    println!("{}", t.render());
+}

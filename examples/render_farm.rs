@@ -1,0 +1,59 @@
+//! Replay a scaled version of the 2016 Qarnot rendering year (§III:
+//! "1100 users … 600,000 images … 11,000,000 hours of computations")
+//! through a DF fleet with datacenter overflow.
+//!
+//! ```sh
+//! cargo run --release --example render_farm
+//! ```
+
+use df3::df3_core::{Platform, PlatformConfig};
+use df3::simcore::report::{f2, pct, Table};
+use df3::simcore::time::{Calendar, SimDuration};
+use df3::simcore::RngStreams;
+use df3::workloads::render::{RenderCalibration, RenderYear};
+
+fn main() {
+    let scale = 0.02; // 12 000 images on a proportionally scaled fleet
+    let year = RenderYear::generate_with(
+        RenderCalibration::qarnot_2016(),
+        &RngStreams::new(2016),
+        scale,
+    );
+    println!(
+        "rendering year at scale {scale}: {} batches, {} frames, {:.0} CPU-hours",
+        year.stream.len(),
+        year.total_frames(),
+        year.total_cpu_hours()
+    );
+
+    let mut config = PlatformConfig::small_winter();
+    config.calendar = Calendar::JANUARY_EPOCH;
+    config.horizon = SimDuration::YEAR;
+    config.workers_per_cluster = 12; // 4 × 12 × 16 = 768 DF cores
+    config.control_period = SimDuration::from_secs(1_800);
+    config.peak_policy = df3::sched::PeakPolicy::VerticalFirst;
+    config.datacenter_cores = 256;
+
+    let outcome = Platform::new(config).run(&year.stream);
+    let s = &outcome.stats;
+
+    let mut t = Table::new("render farm year").headers(&["metric", "value"]);
+    t.row(&["batches completed".into(), s.dcc_completed.get().to_string()]);
+    t.row(&[
+        "CPU-hours completed".into(),
+        f2(s.dcc_work_gops / 2.4 / 3_600.0),
+    ]);
+    t.row(&["mean slowdown".into(), f2(s.dcc_slowdown.mean())]);
+    t.row(&["datacenter overflow share".into(), pct(s.dc_share())]);
+    t.row(&["vertical offloads".into(), s.offload_vertical.get().to_string()]);
+    t.row(&["fleet energy (kWh)".into(), f2(s.df_total_kwh)]);
+    t.row(&["platform PUE (conservative)".into(), f2(s.pue())]);
+    println!("{}", t.render());
+
+    // Monthly capacity: the seasonality the render farm rides on.
+    let mut months = Table::new("mean usable DF cores by month").headers(&["month", "cores"]);
+    for m in s.usable_cores.monthly(Calendar::JANUARY_EPOCH).iter().take(12) {
+        months.row(&[m.month_name.into(), f2(m.stats.mean())]);
+    }
+    println!("{}", months.render());
+}

@@ -1,0 +1,78 @@
+//! A smart building on DF3: Q.rads heat the rooms while serving two
+//! in-situ edge workloads — audio alarm detection (ref [11]) and an
+//! HVAC sense-compute-actuate loop — against a background of cloud
+//! rendering work.
+//!
+//! ```sh
+//! cargo run --release --example smart_building
+//! ```
+
+use df3::df3_core::{ArchClass, Platform, PlatformConfig};
+use df3::simcore::report::{f2, pct, Table};
+use df3::simcore::time::SimDuration;
+use df3::simcore::RngStreams;
+use df3::workloads::alarm::{alarm_jobs, AlarmPipeline};
+use df3::workloads::dcc::{boinc_jobs, BoincConfig};
+use df3::workloads::edge::{sense_actuate_jobs, SenseActuateConfig};
+use df3::workloads::job::JobStream;
+use df3::workloads::Flow;
+
+fn main() {
+    let horizon = SimDuration::from_hours(12);
+    let streams = RngStreams::new(2018);
+
+    // One building: 16 Q.rads, architecture B — 4 heaters dedicated to
+    // edge work inside a VPN, the §III-B class with a QoS guarantee.
+    let mut config = PlatformConfig::small_winter();
+    config.n_clusters = 1;
+    config.workers_per_cluster = 16;
+    config.arch = ArchClass::DedicatedEdge {
+        edge_workers: 4,
+        vpn_overhead: SimDuration::from_micros(400),
+    };
+    config.horizon = horizon;
+
+    // Workload 1: 8 microphones running alarm detection.
+    let pipeline = AlarmPipeline::standard();
+    let mut jobs = JobStream::new(vec![]);
+    let mut expected_events = 0;
+    for mic in 0..8u64 {
+        let (s, events) = alarm_jobs(pipeline, horizon, &streams, mic, mic * 10_000_000, Flow::EdgeDirect);
+        expected_events += events;
+        jobs = jobs.merge(s);
+    }
+
+    // Workload 2: 12 HVAC control loops (10 s period).
+    for dev in 0..12u64 {
+        let s = sense_actuate_jobs(
+            SenseActuateConfig::hvac_loop(Flow::EdgeDirect),
+            horizon,
+            &streams,
+            dev,
+            100_000_000 + dev * 10_000_000,
+        );
+        jobs = jobs.merge(s);
+    }
+
+    // Background: opportunistic batch compute keeps the heaters warm.
+    let boinc = boinc_jobs(BoincConfig::standard(), horizon, &streams, 900_000_000);
+    let jobs = jobs.merge(boinc);
+
+    println!(
+        "smart building: {} requests over {horizon} ({} alarm events expected)",
+        jobs.len(),
+        expected_events
+    );
+    let outcome = Platform::new(config).run(&jobs);
+    let s = &outcome.stats;
+
+    let mut t = Table::new("smart building (architecture B)").headers(&["metric", "value"]);
+    t.row(&["edge requests completed".into(), s.edge_completed.get().to_string()]);
+    t.row(&["edge attainment (500 ms / 10 s budgets)".into(), pct(s.edge_attainment())]);
+    t.row(&["edge p99 (ms)".into(), f2(s.edge_response_ms.p99())]);
+    t.row(&["DCC tasks completed".into(), s.dcc_completed.get().to_string()]);
+    t.row(&["mean room temperature (°C)".into(), f2(s.room_temp_c.summary().mean())]);
+    t.row(&["building energy (kWh)".into(), f2(s.df_total_kwh)]);
+    t.row(&["of which compute (kWh)".into(), f2(s.df_compute_kwh)]);
+    println!("{}", t.render());
+}

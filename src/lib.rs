@@ -1,0 +1,47 @@
+//! # df3 — Data Furnace in Three Flows
+//!
+//! A simulation framework reproducing
+//! *"How Future Buildings Could Redefine Distributed Computing"*
+//! (Ngoko, Sainthérant, Cérin, Trystram — IEEE IPDPS Workshops 2018):
+//! one platform servicing **district heating**, **edge computing**, and
+//! **distributed cloud computing** from the same fleet of data-furnace
+//! servers.
+//!
+//! This crate is the facade: it re-exports every subsystem crate under
+//! one name. See the README for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use df3::df3_core::{Platform, PlatformConfig};
+//! use df3::workloads::edge::{location_service_jobs, LocationServiceConfig};
+//! use df3::workloads::Flow;
+//! use df3::simcore::{RngStreams, time::SimDuration};
+//!
+//! // A small winter deployment: 4 buildings × 16 Q.rads.
+//! let mut config = PlatformConfig::small_winter();
+//! config.horizon = SimDuration::from_hours(2);
+//!
+//! // A city's map-serving edge traffic, routed through master nodes.
+//! let jobs = location_service_jobs(
+//!     LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+//!     config.horizon,
+//!     &RngStreams::new(42),
+//!     0,
+//! );
+//!
+//! let outcome = Platform::new(config).run(&jobs);
+//! assert!(outcome.stats.edge_attainment() > 0.9);
+//! ```
+
+pub use baselines;
+pub use df3_core;
+pub use dfhw;
+pub use dfnet;
+pub use economics;
+pub use predict;
+pub use sched;
+pub use simcore;
+pub use thermal;
+pub use workloads;
