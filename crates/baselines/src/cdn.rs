@@ -53,8 +53,7 @@ impl CdnPop {
         origin_compute: SimDuration,
     ) -> SimDuration {
         let access = Link::new(Protocol::Wifi);
-        let first_mile =
-            access.transfer_time(input_bytes) + access.transfer_time(output_bytes);
+        let first_mile = access.transfer_time(input_bytes) + access.transfer_time(output_bytes);
         let pop_rt = self.pop_latency * 2;
         let origin_rt = self.origin_latency * 2;
         match kind {

@@ -68,18 +68,22 @@ impl HostSchedule {
         if on {
             // Start mid-interval.
             let first_end = SimTime::ZERO
-                + SimDuration::from_secs_f64(
-                    exponential(&mut rng, 1.0 / profile.mean_on.as_secs_f64()),
-                );
+                + SimDuration::from_secs_f64(exponential(
+                    &mut rng,
+                    1.0 / profile.mean_on.as_secs_f64(),
+                ));
             intervals.push((SimTime::ZERO, first_end));
             t = first_end;
             on = false;
         }
         let end = SimTime::ZERO + span;
         while t < end {
-            let mean = if on { profile.mean_on } else { profile.mean_off };
-            let dur =
-                SimDuration::from_secs_f64(exponential(&mut rng, 1.0 / mean.as_secs_f64()));
+            let mean = if on {
+                profile.mean_on
+            } else {
+                profile.mean_off
+            };
+            let dur = SimDuration::from_secs_f64(exponential(&mut rng, 1.0 / mean.as_secs_f64()));
             if on {
                 intervals.push((t, t + dur));
             }
@@ -112,7 +116,11 @@ impl HostSchedule {
         let total: f64 = self
             .intervals
             .iter()
-            .map(|&(a, b)| (b.min(SimTime::ZERO + span)).saturating_since(a).as_secs_f64())
+            .map(|&(a, b)| {
+                (b.min(SimTime::ZERO + span))
+                    .saturating_since(a)
+                    .as_secs_f64()
+            })
             .sum();
         total / span.as_secs_f64()
     }
@@ -218,10 +226,7 @@ mod tests {
             .collect();
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
-        assert!(
-            max >= min + 5,
-            "capacity should swing widely: {min}..{max}"
-        );
+        assert!(max >= min + 5, "capacity should swing widely: {min}..{max}");
     }
 
     #[test]
@@ -244,9 +249,18 @@ mod tests {
                 (SimTime::from_secs(400), SimTime::from_secs(500)),
             ],
         };
-        assert_eq!(s.next_on(SimTime::from_secs(0)), Some(SimTime::from_secs(100)));
-        assert_eq!(s.next_on(SimTime::from_secs(150)), Some(SimTime::from_secs(150)));
-        assert_eq!(s.next_on(SimTime::from_secs(250)), Some(SimTime::from_secs(400)));
+        assert_eq!(
+            s.next_on(SimTime::from_secs(0)),
+            Some(SimTime::from_secs(100))
+        );
+        assert_eq!(
+            s.next_on(SimTime::from_secs(150)),
+            Some(SimTime::from_secs(150))
+        );
+        assert_eq!(
+            s.next_on(SimTime::from_secs(250)),
+            Some(SimTime::from_secs(400))
+        );
         assert_eq!(s.next_on(SimTime::from_secs(600)), None);
     }
 

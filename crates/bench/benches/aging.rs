@@ -2,7 +2,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("e18_aging_2000_parts", |b| b.iter(|| bench::e18_aging::run(2_000, 0xE18)));
+    c.bench_function("e18_aging_2000_parts", |b| {
+        b.iter(|| bench::e18_aging::run(2_000, 0xE18))
+    });
 }
 criterion_group!(benches, bench);
 criterion_main!(benches);

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e14_alternatives");
     g.sample_size(10);
-    g.bench_function("one_hour", |b| b.iter(|| bench::e14_alternatives::run(1, 0xE14)));
+    g.bench_function("one_hour", |b| {
+        b.iter(|| bench::e14_alternatives::run(1, 0xE14))
+    });
     g.finish();
 }
 criterion_group!(benches, bench);

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e15_boilers");
     g.sample_size(10);
-    g.bench_function("year_three_systems", |b| b.iter(|| bench::e15_boilers::run(0xE15)));
+    g.bench_function("year_three_systems", |b| {
+        b.iter(|| bench::e15_boilers::run(0xE15))
+    });
     g.finish();
 }
 criterion_group!(benches, bench);

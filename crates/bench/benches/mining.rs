@@ -2,7 +2,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("e17_mining_year", |b| b.iter(|| bench::e17_mining::run(0xE17)));
+    c.bench_function("e17_mining_year", |b| {
+        b.iter(|| bench::e17_mining::run(0xE17))
+    });
 }
 criterion_group!(benches, bench);
 criterion_main!(benches);

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e16_resilience");
     g.sample_size(10);
-    g.bench_function("outage_6h", |b| b.iter(|| bench::e16_resilience::run(6, 0xE16)));
+    g.bench_function("outage_6h", |b| {
+        b.iter(|| bench::e16_resilience::run(6, 0xE16))
+    });
     g.finish();
 }
 criterion_group!(benches, bench);

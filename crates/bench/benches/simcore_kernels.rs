@@ -1,10 +1,101 @@
-//! Micro-benchmarks of the substrate hot paths: event queue, room step,
-//! RNG stream derivation, histogram observation.
+//! Micro-benchmarks of the substrate hot paths: event queue (slab and
+//! legacy, for the PR 1 A/B), platform step, room step, RNG stream
+//! derivation, histogram observation.
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use df3_core::{Platform, PlatformConfig};
 use simcore::metrics::Histogram;
 use simcore::time::{SimDuration, SimTime};
-use simcore::{EventQueue, RngStreams};
+use simcore::{EventQueue, LegacyEventQueue, RngStreams, SlabEventQueue};
 use thermal::room::{Room, RoomParams};
+use workloads::edge::{location_service_jobs, LocationServiceConfig};
+use workloads::Flow;
+
+/// Event payload sized like the platform's `Ev` enum (≈100 bytes).
+type FatEvent = [u64; 12];
+
+/// The schedule/cancel/pop mix a platform run produces: mostly
+/// schedules and pops, a cancel tail from preemptions/failures, queue
+/// depth held in the platform's observed operating band.
+macro_rules! queue_mix {
+    ($Q:ty) => {
+        |b: &mut criterion::Bencher| {
+            b.iter(|| {
+                let mut q = <$Q>::with_capacity(256);
+                let mut recent = [None; 64];
+                let mut x: u64 = 0xDF3;
+                let mut sum = 0u64;
+                for _ in 0..256u32 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let t = SimTime::from_micros(((x >> 16) % 1_000_000) as i64);
+                    q.schedule(t, [x; 12] as FatEvent);
+                }
+                for _ in 0..3_000u32 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let kind = if q.len() < 128 { 0 } else { x % 10 };
+                    match kind {
+                        0..=3 => {
+                            let t = SimTime::from_micros(((x >> 16) % 1_000_000) as i64);
+                            let id = q.schedule(t, [x; 12] as FatEvent);
+                            recent[(x >> 40) as usize % 64] = Some(id);
+                        }
+                        4..=5 => {
+                            if let Some(id) = recent[(x >> 32) as usize % 64].take() {
+                                q.cancel(id);
+                            }
+                        }
+                        _ => {
+                            if let Some((_, v)) = q.pop() {
+                                sum ^= v[0];
+                            }
+                        }
+                    }
+                }
+                while let Some((_, v)) = q.pop() {
+                    sum ^= v[0];
+                }
+                black_box(sum)
+            })
+        }
+    };
+}
+
+/// A preemption storm: schedule a platform-depth batch, cancel half,
+/// drain. The case the generation-tag redesign targets.
+macro_rules! queue_burst {
+    ($Q:ty) => {
+        |b: &mut criterion::Bencher| {
+            let mut x: u64 = 0xDF3;
+            let times: Vec<SimTime> = (0..256)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    SimTime::from_micros(((x >> 16) % 1_000_000) as i64)
+                })
+                .collect();
+            b.iter(|| {
+                let mut q = <$Q>::with_capacity(256);
+                let mut sum = 0u64;
+                let ids: Vec<_> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| q.schedule(t, [i as u64; 12] as FatEvent))
+                    .collect();
+                for &id in ids.iter().step_by(2) {
+                    q.cancel(id);
+                }
+                while let Some((_, v)) = q.pop() {
+                    sum ^= v[0];
+                }
+                black_box(sum)
+            })
+        }
+    };
+}
 
 fn bench(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_1k", |b| {
@@ -20,9 +111,47 @@ fn bench(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    c.bench_function("event_queue_mix_slab", queue_mix!(SlabEventQueue<FatEvent>));
+    c.bench_function(
+        "event_queue_mix_legacy",
+        queue_mix!(LegacyEventQueue<FatEvent>),
+    );
+    c.bench_function(
+        "event_queue_burst_slab",
+        queue_burst!(SlabEventQueue<FatEvent>),
+    );
+    c.bench_function(
+        "event_queue_burst_legacy",
+        queue_burst!(LegacyEventQueue<FatEvent>),
+    );
+    c.bench_function("platform_step_1h", |b| {
+        // A small platform run: every dispatch, finish, and control tick
+        // exercises the slot map and the dense metric path end to end.
+        let jobs = location_service_jobs(
+            LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+            SimDuration::from_hours(1),
+            &RngStreams::new(77),
+            0,
+        );
+        b.iter(|| {
+            let mut cfg = PlatformConfig::small_winter();
+            cfg.n_clusters = 2;
+            cfg.workers_per_cluster = 4;
+            cfg.horizon = SimDuration::from_hours(1);
+            cfg.datacenter_cores = 64;
+            let out = Platform::new(cfg).run(&jobs);
+            black_box(out.events)
+        })
+    });
     c.bench_function("room_step", |b| {
         let mut room = Room::new(RoomParams::typical_apartment_room(), 18.0);
-        b.iter(|| room.step(SimDuration::from_secs(600), black_box(5.0), black_box(400.0)))
+        b.iter(|| {
+            room.step(
+                SimDuration::from_secs(600),
+                black_box(5.0),
+                black_box(400.0),
+            )
+        })
     });
     c.bench_function("rng_stream_derivation", |b| {
         let s = RngStreams::new(42);

@@ -4,6 +4,7 @@
 //! df3-experiments            # run the whole suite
 //! df3-experiments e1 e4 e13  # run selected experiments
 //! df3-experiments --fast     # reduced scales (CI-sized)
+//! df3-experiments bench      # performance trajectory → BENCH_PR1.json
 //! ```
 
 use std::env;
@@ -17,6 +18,15 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|a| a.to_lowercase())
         .collect();
+    if selected.iter().any(|s| s == "bench") {
+        let t0 = Instant::now();
+        let (report, table) = bench::bench_pr1::run(fast);
+        println!("{}", table.render());
+        let path = "BENCH_PR1.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_PR1.json");
+        println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
+        return;
+    }
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
     let seed = 0xDF3_2018;
 
@@ -58,7 +68,10 @@ fn main() {
         println!("{}", table.render());
     }
     if want("e8") {
-        let (_, table) = bench::e08_uhi::run(bench::e08_uhi::DEFAULT_SITES, bench::e08_uhi::DEFAULT_UNIT_W);
+        let (_, table) = bench::e08_uhi::run(
+            bench::e08_uhi::DEFAULT_SITES,
+            bench::e08_uhi::DEFAULT_UNIT_W,
+        );
         println!("{}", table.render());
     }
     if want("e9") {
@@ -70,7 +83,8 @@ fn main() {
         println!("{}", table.render());
     }
     if want("e11") {
-        let (_, table) = bench::e11_alarm::run(if fast { 4 } else { 12 }, if fast { 1 } else { 6 }, seed);
+        let (_, table) =
+            bench::e11_alarm::run(if fast { 4 } else { 12 }, if fast { 1 } else { 6 }, seed);
         println!("{}", table.render());
     }
     if want("e12") {

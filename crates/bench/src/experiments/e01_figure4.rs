@@ -95,8 +95,12 @@ pub fn run(n_rooms: usize, seed: u64) -> (Figure4, Table) {
 
     let df_months = df_series.monthly(cal);
     let conv_months = conv.temps.monthly(cal);
-    let mut table = Table::new("E1 / Figure 4 — mean room temperature, Nov..May (°C)")
-        .headers(&["month", "DF (Q.rad)", "electric convector", "paper band"]);
+    let mut table = Table::new("E1 / Figure 4 — mean room temperature, Nov..May (°C)").headers(&[
+        "month",
+        "DF (Q.rad)",
+        "electric convector",
+        "paper band",
+    ]);
     let mut months = Vec::new();
     for (d, c) in df_months.iter().zip(&conv_months).take(7) {
         months.push((d.month_name.to_string(), d.stats.mean(), c.stats.mean()));

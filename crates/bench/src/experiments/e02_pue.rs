@@ -44,8 +44,11 @@ pub fn run(n_servers: usize, days: i64) -> (PueComparison, Table) {
         micro_dc_pue: micro_acc.pue(end),
         cloud_pue: cloud.pue(end),
     };
-    let mut table = Table::new("E2 — PUE comparison (30-day winter operation)")
-        .headers(&["fleet", "PUE", "paper reference"]);
+    let mut table = Table::new("E2 — PUE comparison (30-day winter operation)").headers(&[
+        "fleet",
+        "PUE",
+        "paper reference",
+    ]);
     table.row(&[
         "DF fleet (Q.rads)".into(),
         f3(result.df_pue),

@@ -60,10 +60,8 @@ pub fn run(hours: i64, seed: u64) -> (FlowsLatency, Table) {
         &RngStreams::new(seed),
         0,
     );
-    let cloud = CloudBaseline::standard(1024).run(
-        &jobs,
-        SimTime::ZERO + SimDuration::from_hours(hours + 1),
-    );
+    let cloud = CloudBaseline::standard(1024)
+        .run(&jobs, SimTime::ZERO + SimDuration::from_hours(hours + 1));
 
     let result = FlowsLatency {
         direct_p50_ms: dp50,

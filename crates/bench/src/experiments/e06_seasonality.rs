@@ -68,9 +68,18 @@ pub fn run(workers_per_cluster: usize, seed: u64) -> (Seasonality, Table) {
     const PARIS_MONTHLY: [f64; 12] = [
         4.5, 5.5, 8.5, 11.5, 15.0, 18.0, 19.5, 19.5, 16.5, 12.5, 8.0, 5.5,
     ];
-    let offers = monthly_offers(&fit, &PARIS_MONTHLY, FleetProfile::qrad_fleet(workers_per_cluster * 4));
+    let offers = monthly_offers(
+        &fit,
+        &PARIS_MONTHLY,
+        FleetProfile::qrad_fleet(workers_per_cluster * 4),
+    );
 
-    for (m, (c, d)) in cores_monthly.iter().zip(&demand_monthly).enumerate().take(12) {
+    for (m, (c, d)) in cores_monthly
+        .iter()
+        .zip(&demand_monthly)
+        .enumerate()
+        .take(12)
+    {
         monthly_cores.push((c.month_name.to_string(), c.stats.mean(), d.stats.mean()));
         table.row(&[
             c.month_name.to_string(),
@@ -91,7 +100,11 @@ pub fn run(workers_per_cluster: usize, seed: u64) -> (Seasonality, Table) {
     let summer = mean_of(&[5, 6, 7]);
     let result = Seasonality {
         monthly_cores,
-        measured_ratio: if summer > 0.0 { winter / summer } else { f64::INFINITY },
+        measured_ratio: if summer > 0.0 {
+            winter / summer
+        } else {
+            f64::INFINITY
+        },
         offered_ratio: seasonality_ratio(&offers),
         dc_share: out.stats.dc_share(),
     };

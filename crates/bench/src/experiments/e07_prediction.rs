@@ -126,13 +126,7 @@ mod tests {
         assert!(r.fit_r2 > 0.75);
         // The weather-aware model must beat the seasonal-naive baseline —
         // that is the §III-C argument for prediction.
-        let mae = |n: &str| {
-            r.forecast_mae
-                .iter()
-                .find(|(name, _)| name == n)
-                .unwrap()
-                .1
-        };
+        let mae = |n: &str| r.forecast_mae.iter().find(|(name, _)| name == n).unwrap().1;
         assert!(
             mae("ridge-weather") < mae("seasonal-naive"),
             "ridge {} vs naive {}",

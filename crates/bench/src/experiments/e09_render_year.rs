@@ -81,11 +81,7 @@ pub fn run(scale: f64, seed: u64) -> (RenderYearResult, Table) {
         f2(result.cpu_hours_done),
         format!("{:.0} (scaled target)", 11_000_000.0 * scale),
     ]);
-    table.row(&[
-        "mean slowdown".into(),
-        f2(result.mean_slowdown),
-        "—".into(),
-    ]);
+    table.row(&["mean slowdown".into(), f2(result.mean_slowdown), "—".into()]);
     table.row(&[
         "datacenter overflow share".into(),
         pct(result.dc_share),

@@ -52,7 +52,8 @@ pub fn run(n_mics: usize, hours: i64, seed: u64) -> (AlarmResult, Table) {
     cfg.seed = seed;
     let out = Platform::new(cfg).run(&merged);
 
-    let cloud = CloudBaseline::standard(1024).run(&merged, SimTime::ZERO + span + SimDuration::HOUR);
+    let cloud =
+        CloudBaseline::standard(1024).run(&merged, SimTime::ZERO + span + SimDuration::HOUR);
 
     let budget = DutyCycleBudget::eu868();
     let lora = Link::new(Protocol::Lora);
@@ -70,7 +71,12 @@ pub fn run(n_mics: usize, hours: i64, seed: u64) -> (AlarmResult, Table) {
         "E11 — audio alarm detection, {n_mics} microphones ({} windows)",
         merged.len()
     ))
-    .headers(&["deployment", "p50 (ms)", "attainment (500 ms budget)", "note"]);
+    .headers(&[
+        "deployment",
+        "p50 (ms)",
+        "attainment (500 ms budget)",
+        "note",
+    ]);
     table.row(&[
         "local Q.rads (in-situ, [11])".into(),
         f2(result.local_p50_ms),

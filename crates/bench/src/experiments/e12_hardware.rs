@@ -35,8 +35,8 @@ pub fn run() -> (Vec<HardwareRow>, Table) {
         ServerSpec::datacenter_node(),
     ];
     let mut rows = Vec::new();
-    let mut table = Table::new("E12 — server classes of §II-B (model vs paper nameplate)")
-        .headers(&[
+    let mut table =
+        Table::new("E12 — server classes of §II-B (model vs paper nameplate)").headers(&[
             "class",
             "CPUs",
             "cores",

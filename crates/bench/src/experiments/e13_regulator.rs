@@ -59,9 +59,8 @@ pub fn run() -> (RegulatorResult, Table) {
     for level in 0..ladder.n_states() {
         energy_curve.push((ladder.throughput(level), ladder.energy_per_op_nj(level)));
     }
-    let mut ec_table =
-        Table::new("E13b — diminishing returns (energy per op across the ladder)")
-            .headers(&["freq (GHz)", "energy (nJ/op)"]);
+    let mut ec_table = Table::new("E13b — diminishing returns (energy per op across the ladder)")
+        .headers(&["freq (GHz)", "energy (nJ/op)"]);
     for (f, e) in &energy_curve {
         ec_table.row(&[f2(*f), f3(*e)]);
     }

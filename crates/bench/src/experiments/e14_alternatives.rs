@@ -65,7 +65,12 @@ pub fn run(hours: i64, seed: u64) -> (Alternatives, Table) {
     // CDN: compute requests can't be cached.
     let cdn = CdnPop::metro_pop();
     let cdn_ms = cdn
-        .expected_response(RequestKind::Compute, 600, 30_000, SimDuration::from_millis(50))
+        .expected_response(
+            RequestKind::Compute,
+            600,
+            30_000,
+            SimDuration::from_millis(50),
+        )
         .as_millis_f64();
 
     // Desktop grid availability.

@@ -73,7 +73,11 @@ pub fn run(seed: u64) -> (BoilerComparison, Table) {
         t += step;
     }
     let mean = |v: &[(f64, usize)], months: &[usize]| -> f64 {
-        months.iter().map(|&m| v[m].0 / v[m].1.max(1) as f64).sum::<f64>() / months.len() as f64
+        months
+            .iter()
+            .map(|&m| v[m].0 / v[m].1.max(1) as f64)
+            .sum::<f64>()
+            / months.len() as f64
     };
     let winter = [0usize, 1, 11];
     let summer = [5usize, 6, 7];
@@ -96,8 +100,14 @@ pub fn run(seed: u64) -> (BoilerComparison, Table) {
         always_on_waste_share: always_on.waste_kwh() / always_on.energy_kwh().max(1e-9),
         on_demand_waste_share: on_demand.waste_kwh() / on_demand.energy_kwh().max(1e-9),
     };
-    let mut table = Table::new("E15 — heater vs digital boiler (capacity duty by month)")
-        .headers(&["system", "winter duty", "summer duty", "winter/summer", "waste share"]);
+    let mut table =
+        Table::new("E15 — heater vs digital boiler (capacity duty by month)").headers(&[
+            "system",
+            "winter duty",
+            "summer duty",
+            "winter/summer",
+            "waste share",
+        ]);
     table.row(&[
         "Q.rad space heater".into(),
         pct(mean(&heater_monthly, &winter)),
@@ -146,7 +156,11 @@ mod tests {
         assert!((r.boiler_always_on_seasonality - 1.0).abs() < 0.01);
         // …but wasteful, exactly as §III-C warns, while on-demand wastes
         // almost nothing.
-        assert!(r.always_on_waste_share > 0.15, "waste {}", r.always_on_waste_share);
+        assert!(
+            r.always_on_waste_share > 0.15,
+            "waste {}",
+            r.always_on_waste_share
+        );
         assert!(r.on_demand_waste_share < 0.05);
     }
 }

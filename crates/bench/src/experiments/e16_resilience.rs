@@ -60,8 +60,7 @@ fn run_one(flow: Flow, outage: bool, fallback: bool, hours: i64, seed: u64) -> (
 /// Run E16 over `hours` with a 2 h master outage starting at hour 2.
 pub fn run(hours: i64, seed: u64) -> (Resilience, Table) {
     assert!(hours > 4, "the outage window must fit the horizon");
-    let (att_none, rej_none, temp_outage) =
-        run_one(Flow::EdgeIndirect, true, false, hours, seed);
+    let (att_none, rej_none, temp_outage) = run_one(Flow::EdgeIndirect, true, false, hours, seed);
     let (att_roc, _, _) = run_one(Flow::EdgeIndirect, true, true, hours, seed);
     let (att_direct, _, _) = run_one(Flow::EdgeDirect, true, false, hours, seed);
     let (_, _, temp_normal) = run_one(Flow::EdgeIndirect, false, false, hours, seed);
@@ -100,7 +99,10 @@ pub fn run(hours: i64, seed: u64) -> (Resilience, Table) {
         "heating during outage".into(),
         format!("{} °C", f2(result.room_temp_with_outage)),
         "—".into(),
-        format!("vs {} °C without outage", f2(result.room_temp_without_outage)),
+        format!(
+            "vs {} °C without outage",
+            f2(result.room_temp_without_outage)
+        ),
     ]);
     (result, table)
 }

@@ -123,8 +123,7 @@ mod tests {
         // The §III-C concern, confirmed per active hour: a free-cooled
         // die under winter load (≈75 °C junction) wears ~2-3× faster
         // than a chilled one (60 °C).
-        let loaded_ratio =
-            r.qrad_loaded_acceleration / r.datacenter_loaded_acceleration;
+        let loaded_ratio = r.qrad_loaded_acceleration / r.datacenter_loaded_acceleration;
         assert!(
             loaded_ratio > 2.0,
             "loaded acceleration ratio {loaded_ratio}"
@@ -139,9 +138,7 @@ mod tests {
         );
         // Per-1000 replacement rates use the *loaded* temperatures, where
         // the DF fleet does pay more maintenance — §III-C's point.
-        assert!(
-            r.qrad_replacements_per_1000 > r.datacenter_replacements_per_1000
-        );
+        assert!(r.qrad_replacements_per_1000 > r.datacenter_replacements_per_1000);
         assert!(r.qrad_replacements_per_1000 < 350.0);
         assert!(r.qrad_life_years > 3.0);
     }

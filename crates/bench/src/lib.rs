@@ -9,6 +9,7 @@
 //! `scale` ∈ (0, 1] shrinks horizons/fleets proportionally so the same
 //! code serves Criterion micro-runs, CI tests, and full regenerations.
 
+pub mod bench_pr1;
 pub mod experiments;
 
 pub use experiments::*;

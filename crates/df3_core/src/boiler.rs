@@ -67,7 +67,12 @@ impl BoilerSim {
 
     /// An Asperitas-class boiler (20 kW) on a 4 000 l tank for a large
     /// building.
-    pub fn asperitas(n_dwellings: usize, mode: BoilerMode, streams: &RngStreams, site: u64) -> Self {
+    pub fn asperitas(
+        n_dwellings: usize,
+        mode: BoilerMode,
+        streams: &RngStreams,
+        site: u64,
+    ) -> Self {
         let spec = ServerSpec::asperitas_boiler();
         Self::new(spec, 4_000.0, n_dwellings, mode, streams, site)
     }
@@ -134,7 +139,9 @@ impl BoilerSim {
             BoilerMode::OnDemand => self.tank.demand(self.target_c, 8.0),
             BoilerMode::AlwaysOn => 1.0,
         };
-        let decision = self.regulator.decide(&self.ladder, demand, self.regulator.n_cores);
+        let decision = self
+            .regulator
+            .decide(&self.ladder, demand, self.regulator.n_cores);
         self.potential_cores = decision.usable_cores;
         // Assume the fleet's DCC backlog keeps budgeted cores busy (the
         // capacity study's operating point): power = compute budget.
@@ -192,7 +199,11 @@ mod tests {
     #[test]
     fn on_demand_mode_wastes_almost_nothing() {
         let b = run_days(BoilerMode::OnDemand, 14);
-        assert!(b.energy_kwh() > 50.0, "two weeks of DHW: {}", b.energy_kwh());
+        assert!(
+            b.energy_kwh() > 50.0,
+            "two weeks of DHW: {}",
+            b.energy_kwh()
+        );
         assert!(
             b.waste_kwh() < 0.05 * b.energy_kwh(),
             "waste {} of {} kWh",
@@ -230,7 +241,11 @@ mod tests {
         let b = run_days(BoilerMode::AlwaysOn, 7);
         assert!(b.tank.temp_c() <= 85.0 + 1e-9);
         let b2 = run_days(BoilerMode::OnDemand, 7);
-        assert!(b2.tank.temp_c() >= 30.0, "tank never collapses: {}", b2.tank.temp_c());
+        assert!(
+            b2.tank.temp_c() >= 30.0,
+            "tank never collapses: {}",
+            b2.tank.temp_c()
+        );
     }
 
     #[test]

@@ -154,8 +154,8 @@ impl ClusterSim {
         }
         if let Some((_, _, i)) = best {
             let mut placed = job;
-            placed.cores = Self::moldable_width(&job, self.workers[i].free_cores())
-                .expect("width checked");
+            placed.cores =
+                Self::moldable_width(&job, self.workers[i].free_cores()).expect("width checked");
             let finish = self.workers[i]
                 .dispatch(now, placed, cost)
                 .expect("free_cores checked");
@@ -451,7 +451,10 @@ mod tests {
             .preempt_for(SimTime::from_secs(10), &e)
             .expect("preemptible DCC work exists");
         assert_eq!(victims.len(), 1, "one 16-core victim frees plenty");
-        assert!(victims[0].work_gops < 1e5, "victim keeps only remaining work");
+        assert!(
+            victims[0].work_gops < 1e5,
+            "victim keeps only remaining work"
+        );
         assert!(c.worker(worker).free_cores() >= 4);
     }
 

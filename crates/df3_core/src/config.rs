@@ -165,7 +165,10 @@ mod tests {
         assert!(c.validate().is_err());
 
         let c = PlatformConfig::small_winter_arch_b(16);
-        assert!(c.validate().is_err(), "all-edge cluster leaves no DCC workers");
+        assert!(
+            c.validate().is_err(),
+            "all-edge cluster leaves no DCC workers"
+        );
 
         let c = PlatformConfig::small_winter_arch_b(0);
         assert!(c.validate().is_err());

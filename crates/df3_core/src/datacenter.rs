@@ -191,8 +191,8 @@ mod tests {
         dc.submit(SimTime::ZERO, job(2, 3, 900.0)).unwrap();
         assert!(dc.submit(SimTime::ZERO, job(3, 4, 60.0)).is_none()); // head of queue
         assert!(dc.submit(SimTime::ZERO, job(4, 2, 30.0)).is_none()); // would fit, but behind head
-        // Completing job 1 frees 3 cores; the head needs 4 → strict FIFO
-        // starts nothing, even though job 4 would fit.
+                                                                      // Completing job 1 frees 3 cores; the head needs 4 → strict FIFO
+                                                                      // starts nothing, even though job 4 would fit.
         let started = dc.complete(SimTime::from_secs(10), JobId(1));
         assert!(started.is_empty());
         assert_eq!(dc.queued(), 2);
@@ -201,7 +201,8 @@ mod tests {
     #[test]
     fn energy_accrues_with_overhead() {
         let mut dc = Datacenter::new(DatacenterConfig::standard(8));
-        dc.submit(SimTime::ZERO, job(1, 8, 8.0 * 3.0 * 3_600.0)).unwrap(); // 1 h on 8 cores
+        dc.submit(SimTime::ZERO, job(1, 8, 8.0 * 3.0 * 3_600.0))
+            .unwrap(); // 1 h on 8 cores
         let one_hour = SimTime::ZERO + SimDuration::HOUR;
         dc.complete(one_hour, JobId(1));
         let it = dc.it_kwh(one_hour);

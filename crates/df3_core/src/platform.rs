@@ -25,7 +25,6 @@ use simcore::engine::{Engine, Model, Scheduler};
 use simcore::event::EventId;
 use simcore::time::{SimDuration, SimTime};
 use simcore::RngStreams;
-use std::collections::HashMap;
 use thermal::weather::{Weather, WeatherConfig};
 use workloads::job::JobStream;
 use workloads::{Flow, Job, JobId};
@@ -42,11 +41,51 @@ enum Venue {
 #[derive(Debug, Clone)]
 enum Ev {
     Arrival(Job),
-    FinishLocal { cluster: usize, worker: usize, job: Job, venue: Venue },
-    FinishDc { job: Job },
+    FinishLocal {
+        cluster: usize,
+        worker: usize,
+        job: Job,
+        venue: Venue,
+    },
+    FinishDc {
+        job: Job,
+    },
     ControlTick,
-    WorkerFail { cluster: usize, worker: usize },
-    WorkerRepair { cluster: usize, worker: usize },
+    WorkerFail {
+        cluster: usize,
+        worker: usize,
+    },
+    WorkerRepair {
+        cluster: usize,
+        worker: usize,
+    },
+}
+
+/// Finish-event handles of running local jobs, indexed by global worker
+/// slot (`cluster * workers_per_cluster + worker`). Every lookup site
+/// knows the worker, and a worker runs only a handful of concurrent
+/// slices, so a linear scan of a small per-slot vector replaces hashing
+/// `JobId`s on every dispatch, finish, preemption, and failure.
+struct RunningEvents {
+    slots: Vec<Vec<(JobId, EventId)>>,
+}
+
+impl RunningEvents {
+    fn new(n_slots: usize) -> Self {
+        RunningEvents {
+            slots: vec![Vec::new(); n_slots],
+        }
+    }
+
+    fn insert(&mut self, slot: usize, job: JobId, ev: EventId) {
+        self.slots[slot].push((job, ev));
+    }
+
+    fn remove(&mut self, slot: usize, job: JobId) -> Option<EventId> {
+        let v = &mut self.slots[slot];
+        let ix = v.iter().position(|&(j, _)| j == job)?;
+        Some(v.swap_remove(ix).1)
+    }
 }
 
 /// The assembled platform (a `simcore::Model`).
@@ -56,7 +95,7 @@ pub struct Platform {
     clusters: Vec<ClusterSim>,
     datacenter: Option<Datacenter>,
     /// Finish-event handles of running local jobs, for preemption.
-    running_events: HashMap<JobId, EventId>,
+    running_events: RunningEvents,
     pub stats: PlatformStats,
     // Link models (uncongested, analytic).
     lan: Link,
@@ -74,12 +113,16 @@ pub struct PlatformOutcome {
     pub stats: PlatformStats,
     pub events: u64,
     pub end: SimTime,
+    /// High-water mark of concurrently pending events in the engine.
+    pub peak_queue: usize,
 }
 
 impl Platform {
     /// Build a platform from a config (weather is derived from the seed).
     pub fn new(config: PlatformConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("bad config: {e}"));
         let streams = RngStreams::new(config.seed);
         let weather = Weather::generate(
             WeatherConfig::paris(config.calendar),
@@ -88,17 +131,23 @@ impl Platform {
         );
         let clusters = (0..config.n_clusters)
             .map(|i| {
-                ClusterSim::new(i, config.workers_per_cluster, config.arch, config.setpoint_c)
+                ClusterSim::new(
+                    i,
+                    config.workers_per_cluster,
+                    config.arch,
+                    config.setpoint_c,
+                )
             })
             .collect();
         let datacenter = (config.datacenter_cores > 0)
             .then(|| Datacenter::new(DatacenterConfig::standard(config.datacenter_cores)));
+        let n_worker_slots = config.n_clusters * config.workers_per_cluster;
         Platform {
             config,
             weather,
             clusters,
             datacenter,
-            running_events: HashMap::new(),
+            running_events: RunningEvents::new(n_worker_slots),
             stats: PlatformStats::new(),
             lan: Link::new(Protocol::EthernetLan),
             device_link: Link::new(Protocol::Wifi),
@@ -112,7 +161,13 @@ impl Platform {
     /// Run `jobs` through the platform. Consumes self.
     pub fn run(self, jobs: &JobStream) -> PlatformOutcome {
         let horizon = SimTime::ZERO + self.config.horizon;
-        let mut engine = Engine::new(PlatformModel { p: self, jobs: jobs.jobs().to_vec() }, horizon);
+        let mut engine = Engine::new(
+            PlatformModel {
+                p: self,
+                jobs: jobs.jobs().to_vec(),
+            },
+            horizon,
+        );
         engine.event_budget = 500_000_000;
         let (model, summary) = engine.run();
         let mut p = model.p;
@@ -121,11 +176,18 @@ impl Platform {
             stats: p.stats,
             events: summary.events,
             end: summary.end_time,
+            peak_queue: summary.peak_queue,
         }
     }
 
     fn outdoor(&self, t: SimTime) -> f64 {
         self.weather.outdoor_c(t)
+    }
+
+    /// Global worker-slot index for the running-events map.
+    #[inline]
+    fn wslot(&self, cluster: usize, worker: usize) -> usize {
+        cluster * self.config.workers_per_cluster + worker
     }
 
     /// Draw the next failure time for a worker after `after` from its
@@ -135,9 +197,10 @@ impl Platform {
         let idx = (cluster * self.config.workers_per_cluster + worker) as u64;
         // One independent stream per (worker, epoch): advance the stream
         // by hashing the current time in so repeated draws differ.
-        let mut rng = self
-            .streams
-            .stream_indexed("worker-failures", idx ^ (after.as_micros() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = self.streams.stream_indexed(
+            "worker-failures",
+            idx ^ (after.as_micros() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let gap = simcore::dist::exponential(&mut rng, 1.0 / mtbf.as_secs_f64());
         Some(after + SimDuration::from_secs_f64(gap))
     }
@@ -210,10 +273,7 @@ impl Platform {
     /// building; DCC requests are load-balanced to the emptiest cluster.
     fn route_cluster(&self, job: &Job) -> usize {
         if job.is_edge() {
-            (job.id.0 as usize)
-                .wrapping_mul(0x9E37_79B9)
-                .rotate_left(7)
-                % self.clusters.len()
+            (job.id.0 as usize).wrapping_mul(0x9E37_79B9).rotate_left(7) % self.clusters.len()
         } else {
             (0..self.clusters.len())
                 .max_by_key(|&i| {
@@ -224,12 +284,7 @@ impl Platform {
         }
     }
 
-    fn submit_to_dc(
-        &mut self,
-        now: SimTime,
-        job: Job,
-        sched: &mut Scheduler<Ev>,
-    ) -> bool {
+    fn submit_to_dc(&mut self, now: SimTime, job: Job, sched: &mut Scheduler<Ev>) -> bool {
         let Some(dc) = self.datacenter.as_mut() else {
             return false;
         };
@@ -260,7 +315,8 @@ impl Platform {
                 venue,
             },
         );
-        self.running_events.insert(job.id, ev);
+        let slot = self.wslot(cluster, worker);
+        self.running_events.insert(slot, job.id, ev);
     }
 
     /// Handle a job that found its home cluster full: consult the peak
@@ -278,10 +334,11 @@ impl Platform {
         match action {
             PeakAction::Preempt => {
                 if let Some((worker, victims)) = self.clusters[home].preempt_for(now, &job) {
+                    let slot = self.wslot(home, worker);
                     for v in victims {
                         let ev = self
                             .running_events
-                            .remove(&v.id)
+                            .remove(slot, v.id)
                             .expect("victim had a finish event");
                         sched.cancel(ev);
                         self.stats.preemptions.inc();
@@ -295,7 +352,14 @@ impl Platform {
                         .worker_mut(worker)
                         .dispatch(now, job, cost)
                         .expect("preemption freed the cores");
-                    self.start_local(home, worker, job, finish, Venue::Local { cluster: home }, sched);
+                    self.start_local(
+                        home,
+                        worker,
+                        job,
+                        finish,
+                        Venue::Local { cluster: home },
+                        sched,
+                    );
                 } else {
                     self.enqueue(home, job);
                 }
@@ -316,7 +380,10 @@ impl Platform {
                             worker,
                             job,
                             finish,
-                            Venue::Horizontal { from: home, to: target },
+                            Venue::Horizontal {
+                                from: home,
+                                to: target,
+                            },
                             sched,
                         );
                     }
@@ -354,7 +421,14 @@ impl Platform {
         }
         let started = self.clusters[cluster].drain(now, outdoor);
         for (worker, job, finish) in started {
-            self.start_local(cluster, worker, job, finish, Venue::Local { cluster }, sched);
+            self.start_local(
+                cluster,
+                worker,
+                job,
+                finish,
+                Venue::Local { cluster },
+                sched,
+            );
         }
     }
 
@@ -394,7 +468,13 @@ impl Model for PlatformModel {
                 for w in 0..self.p.config.workers_per_cluster {
                     if let Some(at) = self.p.next_failure(c, w, SimTime::ZERO) {
                         if at < sched.horizon() {
-                            sched.at(at, Ev::WorkerFail { cluster: c, worker: w });
+                            sched.at(
+                                at,
+                                Ev::WorkerFail {
+                                    cluster: c,
+                                    worker: w,
+                                },
+                            );
                         }
                     }
                 }
@@ -447,7 +527,11 @@ impl Model for PlatformModel {
                 job,
                 venue,
             } => {
-                self.p.running_events.remove(&job.id);
+                let slot = self.p.wslot(cluster, worker);
+                self.p
+                    .running_events
+                    .remove(slot, job.id)
+                    .expect("finished job had a tracked event");
                 self.p.clusters[cluster].finish(worker, job.id);
                 self.p.record_completion(now, &job, venue);
                 self.p.drain_cluster(now, cluster, sched);
@@ -467,8 +551,9 @@ impl Model for PlatformModel {
             Ev::WorkerFail { cluster, worker } => {
                 self.p.stats.worker_failures.inc();
                 let orphans = self.p.clusters[cluster].worker_mut(worker).fail(now);
+                let slot = self.p.wslot(cluster, worker);
                 for job in orphans {
-                    if let Some(ev) = self.p.running_events.remove(&job.id) {
+                    if let Some(ev) = self.p.running_events.remove(slot, job.id) {
                         sched.cancel(ev);
                     }
                     self.p.enqueue(cluster, job);
@@ -502,12 +587,9 @@ impl Model for PlatformModel {
                     demand += d;
                     self.p.drain_cluster(now, i, sched);
                 }
-                self.p.stats.sample_tick(
-                    now,
-                    temp / n as f64,
-                    usable as f64,
-                    demand / n as f64,
-                );
+                self.p
+                    .stats
+                    .sample_tick(now, temp / n as f64, usable as f64, demand / n as f64);
                 sched.after(self.p.config.control_period, Ev::ControlTick);
             }
         }
@@ -602,7 +684,11 @@ mod tests {
     fn energy_is_accounted() {
         let p = Platform::new(tiny_config());
         let out = p.run(&edge_stream(6));
-        assert!(out.stats.df_total_kwh > 0.5, "kwh {}", out.stats.df_total_kwh);
+        assert!(
+            out.stats.df_total_kwh > 0.5,
+            "kwh {}",
+            out.stats.df_total_kwh
+        );
         assert!(out.stats.df_compute_kwh <= out.stats.df_total_kwh);
         assert!(out.stats.pue() >= 1.0);
     }

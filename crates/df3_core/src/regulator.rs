@@ -86,7 +86,10 @@ impl HeatRegulator {
         demand: f64,
         backlog_cores: usize,
     ) -> RegulatorDecision {
-        assert!((0.0..=1.0).contains(&demand), "demand out of range: {demand}");
+        assert!(
+            (0.0..=1.0).contains(&demand),
+            "demand out of range: {demand}"
+        );
         if demand < self.power_off_threshold {
             return RegulatorDecision {
                 powered: false,
@@ -200,7 +203,11 @@ mod tests {
         let d = qrad().decide(&ladder(), 0.8, 0);
         assert!(d.powered);
         assert_eq!(d.usable_cores, 0);
-        assert!(d.resistive_w > 300.0, "resistive {} fills the gap", d.resistive_w);
+        assert!(
+            d.resistive_w > 300.0,
+            "resistive {} fills the gap",
+            d.resistive_w
+        );
         assert!((d.total_heat_w() - 0.8 * 500.0).abs() < 1.0);
     }
 

@@ -71,7 +71,9 @@ pub fn monthly_offers(
     monthly_mean_outdoor_c: &[f64; 12],
     fleet: FleetProfile,
 ) -> Vec<CapacityOffer> {
-    const DAYS: [f64; 12] = [31.0, 28.0, 31.0, 30.0, 31.0, 30.0, 31.0, 31.0, 30.0, 31.0, 30.0, 31.0];
+    const DAYS: [f64; 12] = [
+        31.0, 28.0, 31.0, 30.0, 31.0, 30.0, 31.0, 31.0, 30.0, 31.0, 30.0, 31.0,
+    ];
     monthly_mean_outdoor_c
         .iter()
         .enumerate()

@@ -94,11 +94,17 @@ impl PlatformStats {
     }
 
     /// Record a DCC completion. `ideal_s` is the no-wait service time.
-    pub fn record_dcc(&mut self, response_s: f64, ideal_s: f64, work_gops: f64, org: u32, in_dc: bool) {
+    pub fn record_dcc(
+        &mut self,
+        response_s: f64,
+        ideal_s: f64,
+        work_gops: f64,
+        org: u32,
+        in_dc: bool,
+    ) {
         self.dcc_completed.inc();
         self.dcc_response_s.observe(response_s);
-        self.dcc_slowdown
-            .observe(response_s / ideal_s.max(1e-9));
+        self.dcc_slowdown.observe(response_s / ideal_s.max(1e-9));
         self.dcc_work_gops += work_gops;
         if in_dc {
             self.dc_work_gops += work_gops;
@@ -110,8 +116,7 @@ impl PlatformStats {
     /// (completed + rejected + expired) — rejecting everything cannot
     /// fake a perfect score.
     pub fn edge_attainment(&self) -> f64 {
-        let denom =
-            self.edge_completed.get() + self.edge_rejected.get() + self.edge_expired.get();
+        let denom = self.edge_completed.get() + self.edge_rejected.get() + self.edge_expired.get();
         if denom == 0 {
             return 1.0;
         }

@@ -28,6 +28,9 @@ pub struct RunningSlice {
     pub cores: usize,
     /// Per-core speed, Gops/s, fixed at dispatch.
     pub gops_per_core: f64,
+    /// DVFS level in force at dispatch (determines `gops_per_core`);
+    /// cached so power accounting needn't search the ladder per tick.
+    pub level: usize,
     pub started: SimTime,
     pub finish: SimTime,
 }
@@ -136,16 +139,7 @@ impl WorkerSim {
         let core_w: f64 = self
             .running
             .iter()
-            .map(|s| {
-                // Approximate the per-core draw of a slice by its
-                // dispatch-time level: find the level whose throughput
-                // matches the slice speed.
-                let lvl = self
-                    .ladder
-                    .level_for_throughput(s.gops_per_core)
-                    .unwrap_or(self.ladder.n_states() - 1);
-                s.cores as f64 * self.ladder.power_w(lvl, 1.0)
-            })
+            .map(|s| s.cores as f64 * self.ladder.power_w(s.level, 1.0))
             .sum();
         self.regulator.overhead_w + core_w
     }
@@ -186,7 +180,8 @@ impl WorkerSim {
         if self.failed || !self.decision.powered || self.free_cores() < job.cores {
             return None;
         }
-        let gops = self.ladder.throughput(self.decision.level);
+        let level = self.decision.level;
+        let gops = self.ladder.throughput(level);
         let mut start = now;
         let is_edge = job.is_edge();
         if let Some(prev_edge) = self.last_flow_was_edge {
@@ -200,6 +195,7 @@ impl WorkerSim {
             job,
             cores: job.cores,
             gops_per_core: gops,
+            level,
             started: start,
             finish,
         });
@@ -264,11 +260,9 @@ impl WorkerSim {
             .usable_cores;
         // Never budget below what running jobs already hold: running
         // slices finish at their dispatched speed.
-        let decision = self.regulator.decide(
-            &self.ladder,
-            demand,
-            backlog_cores.max(self.busy_cores()),
-        );
+        let decision =
+            self.regulator
+                .decide(&self.ladder, demand, backlog_cores.max(self.busy_cores()));
         let floor = self.busy_cores();
         self.decision = RegulatorDecision {
             powered: decision.powered || floor > 0,
@@ -412,11 +406,17 @@ mod tests {
         let mut w = worker();
         w.control_tick(SimTime::ZERO, 0.0, 100);
         let cost = SimDuration::from_secs(2);
-        let f1 = w.dispatch(SimTime::ZERO, job(1, 1, 3.0, false), cost).unwrap();
+        let f1 = w
+            .dispatch(SimTime::ZERO, job(1, 1, 3.0, false), cost)
+            .unwrap();
         assert_eq!(f1, SimTime::from_secs(1)); // first job: no switch
-        let f2 = w.dispatch(SimTime::ZERO, job(2, 1, 3.0, true), cost).unwrap();
+        let f2 = w
+            .dispatch(SimTime::ZERO, job(2, 1, 3.0, true), cost)
+            .unwrap();
         assert_eq!(f2, SimTime::from_secs(3)); // switch DCC→edge: +2 s
-        let f3 = w.dispatch(SimTime::ZERO, job(3, 1, 3.0, true), cost).unwrap();
+        let f3 = w
+            .dispatch(SimTime::ZERO, job(3, 1, 3.0, true), cost)
+            .unwrap();
         assert_eq!(f3, SimTime::from_secs(1)); // edge→edge: no switch
     }
 
@@ -427,7 +427,11 @@ mod tests {
         w.dispatch(SimTime::ZERO, job(1, 2, 600.0, false), SimDuration::ZERO);
         // After 50 s at 2×3 Gops, 300 Gop done.
         let back = w.preempt(JobId(1), SimTime::from_secs(50));
-        assert!((back.work_gops - 300.0).abs() < 1.0, "remaining {}", back.work_gops);
+        assert!(
+            (back.work_gops - 300.0).abs() < 1.0,
+            "remaining {}",
+            back.work_gops
+        );
         assert_eq!(w.busy_cores(), 0);
     }
 

@@ -18,6 +18,9 @@ pub struct CpuCore {
     powered: bool,
 }
 
+// Referenced by `#[serde(default)]`; unused while the vendored serde
+// derives are no-ops.
+#[allow(dead_code)]
 fn default_ladder() -> Arc<DvfsLadder> {
     Arc::new(DvfsLadder::desktop_i7())
 }
@@ -43,7 +46,10 @@ impl CpuCore {
 
     /// Set the P-state level. Panics on an out-of-range level.
     pub fn set_level(&mut self, level: usize) {
-        assert!(level < self.ladder.n_states(), "P-state {level} out of range");
+        assert!(
+            level < self.ladder.n_states(),
+            "P-state {level} out of range"
+        );
         self.level = level;
     }
 

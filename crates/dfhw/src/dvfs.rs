@@ -59,13 +59,34 @@ impl DvfsLadder {
     pub fn desktop_i7() -> Self {
         DvfsLadder::new(
             vec![
-                PState { freq_ghz: 0.8, voltage_v: 0.70 },
-                PState { freq_ghz: 1.2, voltage_v: 0.75 },
-                PState { freq_ghz: 1.6, voltage_v: 0.80 },
-                PState { freq_ghz: 2.0, voltage_v: 0.86 },
-                PState { freq_ghz: 2.4, voltage_v: 0.93 },
-                PState { freq_ghz: 2.8, voltage_v: 1.00 },
-                PState { freq_ghz: 3.0, voltage_v: 1.05 },
+                PState {
+                    freq_ghz: 0.8,
+                    voltage_v: 0.70,
+                },
+                PState {
+                    freq_ghz: 1.2,
+                    voltage_v: 0.75,
+                },
+                PState {
+                    freq_ghz: 1.6,
+                    voltage_v: 0.80,
+                },
+                PState {
+                    freq_ghz: 2.0,
+                    voltage_v: 0.86,
+                },
+                PState {
+                    freq_ghz: 2.4,
+                    voltage_v: 0.93,
+                },
+                PState {
+                    freq_ghz: 2.8,
+                    voltage_v: 1.00,
+                },
+                PState {
+                    freq_ghz: 3.0,
+                    voltage_v: 1.05,
+                },
             ],
             8.0, // W/(GHz·V²)
             1.0, // static W per core
@@ -78,11 +99,26 @@ impl DvfsLadder {
     pub fn server_xeon() -> Self {
         DvfsLadder::new(
             vec![
-                PState { freq_ghz: 1.0, voltage_v: 0.75 },
-                PState { freq_ghz: 1.5, voltage_v: 0.82 },
-                PState { freq_ghz: 2.0, voltage_v: 0.90 },
-                PState { freq_ghz: 2.5, voltage_v: 1.00 },
-                PState { freq_ghz: 3.0, voltage_v: 1.10 },
+                PState {
+                    freq_ghz: 1.0,
+                    voltage_v: 0.75,
+                },
+                PState {
+                    freq_ghz: 1.5,
+                    voltage_v: 0.82,
+                },
+                PState {
+                    freq_ghz: 2.0,
+                    voltage_v: 0.90,
+                },
+                PState {
+                    freq_ghz: 2.5,
+                    voltage_v: 1.00,
+                },
+                PState {
+                    freq_ghz: 3.0,
+                    voltage_v: 1.10,
+                },
             ],
             6.0,
             2.5,
@@ -108,7 +144,10 @@ impl DvfsLadder {
     /// Per-core power at `level` with utilisation `util ∈ [0, 1]`:
     /// static + utilisation-scaled dynamic power.
     pub fn power_w(&self, level: usize, util: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&util), "utilisation out of range: {util}");
+        assert!(
+            (0.0..=1.0).contains(&util),
+            "utilisation out of range: {util}"
+        );
         let s = self.states[level];
         self.static_w + util * self.capacitance * s.freq_ghz * s.voltage_v * s.voltage_v
     }
@@ -140,9 +179,7 @@ impl DvfsLadder {
     /// Lowest level whose throughput meets `min_gops`; `None` if even
     /// the top state is too slow.
     pub fn level_for_throughput(&self, min_gops: f64) -> Option<usize> {
-        self.states
-            .iter()
-            .position(|s| s.freq_ghz >= min_gops)
+        self.states.iter().position(|s| s.freq_ghz >= min_gops)
     }
 }
 
@@ -220,8 +257,14 @@ mod tests {
     fn non_monotone_voltage_rejected() {
         DvfsLadder::new(
             vec![
-                PState { freq_ghz: 1.0, voltage_v: 1.0 },
-                PState { freq_ghz: 2.0, voltage_v: 0.8 },
+                PState {
+                    freq_ghz: 1.0,
+                    voltage_v: 1.0,
+                },
+                PState {
+                    freq_ghz: 2.0,
+                    voltage_v: 0.8,
+                },
             ],
             1.0,
             0.0,

@@ -136,10 +136,7 @@ mod tests {
         a.set_it_power(t(0), 1000.0 * 350.0);
         a.set_overhead_power(t(0), 1000.0 * 5.0);
         let pue = a.pue(t(24 * 30));
-        assert!(
-            (1.005..1.05).contains(&pue),
-            "DF PUE {pue} should be ≈1.02"
-        );
+        assert!((1.005..1.05).contains(&pue), "DF PUE {pue} should be ≈1.02");
     }
 
     #[test]

@@ -76,6 +76,9 @@ pub struct ServerSpec {
     pub heat_sink: HeatSink,
 }
 
+// Referenced by `#[serde(default)]`; unused while the vendored serde
+// derives are no-ops.
+#[allow(dead_code)]
 fn default_ladder() -> Arc<DvfsLadder> {
     Arc::new(DvfsLadder::desktop_i7())
 }

@@ -27,8 +27,8 @@
 
 pub mod collective;
 pub mod link;
-pub mod message;
 pub mod lowpower;
+pub mod message;
 pub mod protocol;
 pub mod segmentation;
 pub mod topology;

@@ -24,9 +24,7 @@ pub struct Fragment {
 /// a single fragment. Panics if the message would need more than
 /// `u16::MAX` fragments (no real deployment fragments that far).
 pub fn fragment(protocol: Protocol, payload: &Bytes) -> Vec<Fragment> {
-    let mtu = protocol
-        .max_payload_bytes()
-        .unwrap_or(payload.len().max(1));
+    let mtu = protocol.max_payload_bytes().unwrap_or(payload.len().max(1));
     let total_usize = payload.len().div_ceil(mtu).max(1);
     assert!(
         total_usize <= u16::MAX as usize,

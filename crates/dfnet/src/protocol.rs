@@ -131,13 +131,20 @@ mod tests {
     fn rates_span_the_expected_orders_of_magnitude() {
         assert!(Protocol::Fiber.data_rate_bps() / Protocol::Lora.data_rate_bps() > 1e5);
         assert!(Protocol::Sigfox.data_rate_bps() < 1e3);
-        assert!(Protocol::Ethernet10G.data_rate_bps() == 10.0 * Protocol::EthernetLan.data_rate_bps());
+        assert!(
+            Protocol::Ethernet10G.data_rate_bps() == 10.0 * Protocol::EthernetLan.data_rate_bps()
+        );
     }
 
     #[test]
     fn low_power_classification() {
         // The four protocols §III-B names.
-        for p in [Protocol::Zigbee, Protocol::Lora, Protocol::Sigfox, Protocol::Enocean] {
+        for p in [
+            Protocol::Zigbee,
+            Protocol::Lora,
+            Protocol::Sigfox,
+            Protocol::Enocean,
+        ] {
             assert!(p.is_low_power(), "{} should be low-power", p.name());
         }
         for p in [Protocol::Fiber, Protocol::Wifi, Protocol::WanInternet] {
@@ -162,6 +169,8 @@ mod tests {
 
     #[test]
     fn wan_slower_than_lan() {
-        assert!(Protocol::WanInternet.base_latency_s() > Protocol::EthernetLan.base_latency_s() * 10.0);
+        assert!(
+            Protocol::WanInternet.base_latency_s() > Protocol::EthernetLan.base_latency_s() * 10.0
+        );
     }
 }

@@ -236,7 +236,8 @@ impl BuildingTopology {
     /// request is sent to the master node that will schedule it"). The
     /// master hop is forced even if a shorter path exists.
     pub fn indirect_latency(&self, device: NodeId, worker: NodeId, bytes: usize) -> SimDuration {
-        self.topo.latency(device, self.master, bytes) + self.topo.latency(self.master, worker, bytes)
+        self.topo.latency(device, self.master, bytes)
+            + self.topo.latency(self.master, worker, bytes)
     }
 
     /// Cloud round-trip: device → datacenter → device.

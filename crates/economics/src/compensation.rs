@@ -73,7 +73,7 @@ mod tests {
         let mut l = HostLedger::default();
         let t = Tariff::flat(0.15);
         l.record(at(10, 12), 360.0, &t, &t); // a winter month of one Q.rad
-        // 360 kWh ≈ 720 core-hours-at-full-tilt; at 0.10 €/core-h revenue:
+                                             // 360 kWh ≈ 720 core-hours-at-full-tilt; at 0.10 €/core-h revenue:
         let revenue = 720.0 * 0.10;
         assert!(l.operator_net_eur(revenue) > 0.0);
         // At spot-floor prices the same energy is a loss.

@@ -20,8 +20,8 @@
 //!   revenue plus the displaced-heating credit.
 
 pub mod compare;
-pub mod mining;
 pub mod compensation;
+pub mod mining;
 pub mod pricing;
 pub mod sla;
 pub mod tariff;

@@ -61,9 +61,8 @@ impl CapacityPricer {
         } else if demand_core_h <= 0.0 {
             self.floor
         } else {
-            (self.reference_price
-                * (demand_core_h / supply_core_h).powf(self.elasticity))
-            .clamp(self.floor, self.cap)
+            (self.reference_price * (demand_core_h / supply_core_h).powf(self.elasticity))
+                .clamp(self.floor, self.cap)
         };
         PriceQuote {
             supply_core_h,

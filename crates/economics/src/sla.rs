@@ -42,9 +42,9 @@ impl SlaTarget {
         let mut m = [0.0; 12];
         for (i, slot) in m.iter_mut().enumerate() {
             *slot = match i {
-                0 | 1 | 2 | 10 | 11 => winter,      // Jan Feb Mar Nov Dec
-                4..=8 => summer,        // May..Sep
-                _ => (winter + summer) / 2.0,       // Apr, Oct
+                0 | 1 | 2 | 10 | 11 => winter, // Jan Feb Mar Nov Dec
+                4..=8 => summer,               // May..Sep
+                _ => (winter + summer) / 2.0,  // Apr, Oct
             };
         }
         SlaTarget {
@@ -103,9 +103,7 @@ impl SlaReport {
     pub fn capacity_shortfall_core_h(&self) -> f64 {
         self.months
             .iter()
-            .map(|m| {
-                (self.target.monthly_capacity_core_h[m.month] - m.delivered_core_h).max(0.0)
-            })
+            .map(|m| (self.target.monthly_capacity_core_h[m.month] - m.delivered_core_h).max(0.0))
             .sum()
     }
 

@@ -18,8 +18,7 @@ pub fn errors(pairs: &[(f64, f64)]) -> ForecastErrors {
     assert!(!pairs.is_empty(), "no forecast pairs");
     let n = pairs.len();
     let mae = pairs.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / n as f64;
-    let rmse =
-        (pairs.iter().map(|(p, a)| (p - a).powi(2)).sum::<f64>() / n as f64).sqrt();
+    let rmse = (pairs.iter().map(|(p, a)| (p - a).powi(2)).sum::<f64>() / n as f64).sqrt();
     let eps = 1e-6;
     let pct: Vec<f64> = pairs
         .iter()

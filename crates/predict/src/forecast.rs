@@ -100,8 +100,7 @@ impl Forecaster for Ses {
         for o in history {
             let slot = o.hour_index % 24;
             if self.seen[slot] {
-                self.level[slot] =
-                    self.alpha * o.demand_w + (1.0 - self.alpha) * self.level[slot];
+                self.level[slot] = self.alpha * o.demand_w + (1.0 - self.alpha) * self.level[slot];
             } else {
                 self.level[slot] = o.demand_w;
                 self.seen[slot] = true;
@@ -183,7 +182,8 @@ mod tests {
         (0..hours)
             .map(|h| {
                 let hod = (h % 24) as f64;
-                let outdoor = 8.0 + 6.0 * ((h as f64 / 24.0) * 0.26).sin()
+                let outdoor = 8.0
+                    + 6.0 * ((h as f64 / 24.0) * 0.26).sin()
                     + 3.0 * (2.0 * std::f64::consts::PI * (hod - 15.0) / 24.0).cos();
                 let occ = if (6.0..23.0).contains(&hod) { 1.0 } else { 0.5 };
                 Obs {

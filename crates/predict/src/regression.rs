@@ -139,9 +139,7 @@ mod tests {
     #[test]
     fn ridge_shrinks_coefficients() {
         let mut rng = RngStreams::new(12).stream("reg2");
-        let xs: Vec<Vec<f64>> = (0..50)
-            .map(|_| vec![1.0, rng.gen::<f64>()])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..50).map(|_| vec![1.0, rng.gen::<f64>()]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 10.0 * x[1]).collect();
         let plain = ols(&xs, &ys);
         let shrunk = ridge(&xs, &ys, 100.0);
@@ -153,9 +151,7 @@ mod tests {
     fn ridge_handles_collinearity_that_breaks_ols() {
         // Two identical features: OLS normal equations are singular, but
         // ridge regularises them.
-        let xs: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![1.0, i as f64, i as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64, i as f64]).collect();
         let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
         let m = ridge(&xs, &ys, 1e-3);
         // The two collinear features share the weight.

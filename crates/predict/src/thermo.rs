@@ -65,7 +65,11 @@ pub fn fit(samples: &[(f64, f64)], base_grid: (f64, f64)) -> ThermoFit {
             slope_w_per_k: m.beta[1],
             intercept_w: m.beta[0],
             rmse_w: rmse,
-            r2: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 },
+            r2: if ss_tot > 0.0 {
+                1.0 - ss_res / ss_tot
+            } else {
+                0.0
+            },
         };
         if best.as_ref().map(|b| rmse < b.rmse_w).unwrap_or(true) {
             best = Some(fit);

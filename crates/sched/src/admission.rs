@@ -45,11 +45,9 @@ impl AdmissionControl {
     /// Whether `job` may be admitted to a cluster with load `load`.
     pub fn admit(&self, job: &Job, load: &ClusterLoad) -> bool {
         if job.is_edge() {
-            load.utilisation() < self.edge_util_threshold
-                || load.free_cores() >= job.cores
+            load.utilisation() < self.edge_util_threshold || load.free_cores() >= job.cores
         } else {
-            load.utilisation() < self.dcc_util_threshold
-                && load.queued_dcc < self.max_dcc_queue
+            load.utilisation() < self.dcc_util_threshold && load.queued_dcc < self.max_dcc_queue
         }
     }
 }

@@ -150,9 +150,9 @@ mod tests {
         let scorer = PlacementScorer::latency_only();
         let local = cand(Placement::Local, 1, 100, 50, 0.0); // 151 ms
         let dc = cand(Placement::Datacenter, 45, 0, 20, 0.0); // 65 ms
-        // 100 ms budget: only the DC is feasible even though local would
-        // win without the deadline? No — local is 151 ms and DC 65 ms, so
-        // DC wins either way; tighten to force the filter to matter:
+                                                              // 100 ms budget: only the DC is feasible even though local would
+                                                              // win without the deadline? No — local is 151 ms and DC 65 ms, so
+                                                              // DC wins either way; tighten to force the filter to matter:
         let fast_local = cand(Placement::Local, 1, 0, 50, 0.0); // 51 ms
         assert_eq!(
             scorer.choose(&job(Some(100)), &[local, dc]),
@@ -178,7 +178,10 @@ mod tests {
             latency.choose(&job(None), &[local, dc]),
             Some(Placement::Datacenter)
         );
-        assert_eq!(green.choose(&job(None), &[local, dc]), Some(Placement::Local));
+        assert_eq!(
+            green.choose(&job(None), &[local, dc]),
+            Some(Placement::Local)
+        );
     }
 
     #[test]

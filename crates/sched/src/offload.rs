@@ -217,7 +217,10 @@ mod tests {
         let p = PeakPolicy::Hybrid;
         let local = load(0, 16, 16, 4);
         let siblings = [load(1, 16, 2, 0)];
-        assert_eq!(p.decide(&edge_job(2), &local, &siblings), PeakAction::Preempt);
+        assert_eq!(
+            p.decide(&edge_job(2), &local, &siblings),
+            PeakAction::Preempt
+        );
         assert_eq!(
             p.decide(&dcc_job(2), &local, &siblings),
             PeakAction::OffloadVertical

@@ -70,9 +70,7 @@ pub fn select_victims(
                 .expect("NaN progress")
                 .then(a.id.cmp(&b.id))
         }),
-        VictimOrder::WidestFirst => {
-            candidates.sort_by_key(|t| (std::cmp::Reverse(t.cores), t.id))
-        }
+        VictimOrder::WidestFirst => candidates.sort_by_key(|t| (std::cmp::Reverse(t.cores), t.id)),
     }
     let mut victims = Vec::new();
     let mut freed = 0;
@@ -103,14 +101,22 @@ mod tests {
 
     #[test]
     fn youngest_first_picks_latest_start() {
-        let running = [task(0, 2, 10, 0.9), task(1, 2, 50, 0.1), task(2, 2, 30, 0.5)];
+        let running = [
+            task(0, 2, 10, 0.9),
+            task(1, 2, 50, 0.1),
+            task(2, 2, 30, 0.5),
+        ];
         let v = select_victims(&running, 2, VictimOrder::YoungestFirst).unwrap();
         assert_eq!(v, vec![JobId(1)]);
     }
 
     #[test]
     fn least_progress_first_minimises_waste() {
-        let running = [task(0, 2, 10, 0.9), task(1, 2, 50, 0.4), task(2, 2, 30, 0.05)];
+        let running = [
+            task(0, 2, 10, 0.9),
+            task(1, 2, 50, 0.4),
+            task(2, 2, 30, 0.05),
+        ];
         let v = select_victims(&running, 2, VictimOrder::LeastProgressFirst).unwrap();
         assert_eq!(v, vec![JobId(2)]);
     }

@@ -54,7 +54,11 @@ impl<E> Scheduler<E> {
 
     /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.
     pub fn at(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at, event)
     }
 
@@ -78,6 +82,11 @@ impl<E> Scheduler<E> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// High-water mark of concurrently pending events so far.
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_depth()
+    }
 }
 
 /// Outcome of an engine run.
@@ -89,6 +98,8 @@ pub struct RunSummary {
     pub end_time: SimTime,
     /// Why the run ended.
     pub reason: StopReason,
+    /// High-water mark of concurrently pending events.
+    pub peak_queue: usize,
 }
 
 /// Why an engine run terminated.
@@ -150,12 +161,14 @@ impl<M: Model> Engine<M> {
             StopReason::HorizonReached => self.sched.horizon,
             _ => self.sched.now,
         };
+        let peak_queue = self.sched.peak_pending();
         (
             self.model,
             RunSummary {
                 events,
                 end_time,
                 reason,
+                peak_queue,
             },
         )
     }

@@ -37,6 +37,15 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, Model, Scheduler};
-pub use event::EventQueue;
+pub use event::{legacy::LegacyEventQueue, EventQueue, SlabEventQueue};
 pub use rng::RngStreams;
 pub use time::{SimDuration, SimTime};
+
+/// Which future-event-list implementation the engine was built with
+/// (`legacy-queue` feature swaps the pre-slab queue back in), so bench
+/// reports can record what they measured.
+pub const QUEUE_IMPL: &str = if cfg!(feature = "legacy-queue") {
+    "legacy"
+} else {
+    "slab"
+};

@@ -1,0 +1,114 @@
+//! Global metric-name interner.
+//!
+//! Experiment hot loops report the same handful of metric names millions
+//! of times; hashing and cloning `String` keys per replication row was a
+//! measurable cost. [`MetricId::intern`] maps each distinct name to a
+//! small dense index exactly once, so a metric row can be a plain
+//! `Vec<f64>` and per-report cost drops to an array store.
+//!
+//! The registry is process-global and append-only: ids are stable for
+//! the life of the process, and interned names are leaked (bounded by
+//! the number of distinct metric names an experiment defines, a few
+//! dozen). Interning is thread-safe — replications interning from rayon
+//! workers race only on the first occurrence of a name.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// Dense handle for an interned metric name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl MetricId {
+    /// Intern `name`, returning its stable id. O(1) amortised; the read
+    /// path (already-known name) takes only a shared lock.
+    pub fn intern(name: &str) -> MetricId {
+        {
+            let r = interner().read().unwrap();
+            if let Some(&ix) = r.by_name.get(name) {
+                return MetricId(ix);
+            }
+        }
+        let mut w = interner().write().unwrap();
+        // Double-check: another thread may have interned it between locks.
+        if let Some(&ix) = w.by_name.get(name) {
+            return MetricId(ix);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let ix = u32::try_from(w.names.len()).expect("metric registry overflow");
+        w.names.push(leaked);
+        w.by_name.insert(leaked, ix);
+        MetricId(ix)
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        interner().read().unwrap().names[self.0 as usize]
+    }
+
+    /// Dense index for direct `Vec` addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`index`](Self::index), for iterating dense rows. The
+    /// registry is append-only, so any index below [`registry_len`] is a
+    /// valid, stable id.
+    pub(crate) fn from_index(ix: usize) -> MetricId {
+        debug_assert!(ix < registry_len(), "index beyond registry");
+        MetricId(ix as u32)
+    }
+}
+
+/// Number of names interned so far (upper bound for row allocation).
+pub fn registry_len() -> usize {
+    interner().read().unwrap().names.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = MetricId::intern("registry-test-a");
+        let b = MetricId::intern("registry-test-a");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "registry-test-a");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let a = MetricId::intern("registry-test-x");
+        let b = MetricId::intern("registry-test-y");
+        assert_ne!(a, b);
+        assert_ne!(a.index(), b.index());
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<MetricId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| MetricId::intern("registry-test-race")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

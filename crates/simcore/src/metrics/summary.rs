@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0)
+            .collect();
         let mut whole = Summary::new();
         for &x in &xs {
             whole.observe(x);

@@ -104,7 +104,7 @@ mod tests {
         let mut g = TimeWeighted::new(t(0), 0.0);
         g.set(t(10), 4.0); // 0 for 10 s
         g.set(t(20), 2.0); // 4 for 10 s
-        // now at t=30: 2 for 10 s → avg = (0*10 + 4*10 + 2*10)/30 = 2.0
+                           // now at t=30: 2 for 10 s → avg = (0*10 + 4*10 + 2*10)/30 = 2.0
         assert!((g.average(t(30)) - 2.0).abs() < 1e-12);
         assert_eq!(g.current(), 2.0);
         assert_eq!(g.max_seen(), 4.0);

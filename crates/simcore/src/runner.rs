@@ -5,19 +5,90 @@
 //! in parallel with rayon (`par_iter` over independent work — the pattern
 //! the session's hpc-parallel guides prescribe). Results are reduced into
 //! per-metric [`Summary`]s with 95 % confidence intervals.
+//!
+//! Metric rows are dense: names are interned once into [`MetricId`]s and
+//! each row is a `Vec<f64>` indexed by id, so reporting a metric is an
+//! array store rather than a `BTreeMap<String, f64>` insert. The
+//! name-keyed [`Aggregate`] API is unchanged.
 
-use crate::metrics::Summary;
+use crate::metrics::{registry_len, MetricId, Summary};
 use crate::rng::RngStreams;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
-/// The outcome of one replication: named scalar metrics.
-pub type MetricRow = BTreeMap<String, f64>;
+/// The outcome of one replication: scalar metrics in a dense id-indexed
+/// vector (absent metrics tracked explicitly, so 0.0 stays a valid value).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricRow {
+    values: Vec<f64>,
+    present: Vec<bool>,
+}
+
+impl MetricRow {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size for every metric interned so far.
+    pub fn with_registry_capacity() -> Self {
+        let n = registry_len();
+        MetricRow {
+            values: vec![0.0; n],
+            present: vec![false; n],
+        }
+    }
+
+    /// Set a metric by id (the hot path: an array store).
+    pub fn set(&mut self, id: MetricId, value: f64) {
+        let ix = id.index();
+        if ix >= self.values.len() {
+            self.values.resize(ix + 1, 0.0);
+            self.present.resize(ix + 1, false);
+        }
+        self.values[ix] = value;
+        self.present[ix] = true;
+    }
+
+    /// Set a metric by name (interns on first use).
+    pub fn insert(&mut self, name: &str, value: f64) {
+        self.set(MetricId::intern(name), value);
+    }
+
+    /// Value of a metric, if this row reported it.
+    pub fn get(&self, id: MetricId) -> Option<f64> {
+        let ix = id.index();
+        (ix < self.values.len() && self.present[ix]).then(|| self.values[ix])
+    }
+
+    /// Value by name, if this row reported it.
+    pub fn get_name(&self, name: &str) -> Option<f64> {
+        self.get(MetricId::intern(name))
+    }
+
+    /// Number of metrics reported in this row.
+    pub fn len(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        !self.present.iter().any(|&p| p)
+    }
+
+    /// Iterate `(id, value)` over reported metrics, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MetricId, f64)> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(move |(ix, _)| (MetricId::from_index(ix), self.values[ix]))
+    }
+}
 
 /// Aggregated outcome across replications.
 #[derive(Debug, Clone)]
 pub struct Aggregate {
-    /// Per-metric summaries across replications.
+    /// Per-metric summaries across replications, keyed by name for
+    /// deterministic (alphabetical) reporting order.
     pub metrics: BTreeMap<String, Summary>,
     /// Number of replications.
     pub replications: usize,
@@ -71,17 +142,30 @@ where
     F: FnMut(usize, RngStreams) -> MetricRow,
 {
     assert!(n > 0, "need at least one replication");
-    let rows: Vec<MetricRow> = (0..n).map(|i| sim(i, master.replication(i as u64))).collect();
+    let rows: Vec<MetricRow> = (0..n)
+        .map(|i| sim(i, master.replication(i as u64)))
+        .collect();
     aggregate(rows)
 }
 
 fn aggregate(rows: Vec<MetricRow>) -> Aggregate {
     let n = rows.len();
-    let mut metrics: BTreeMap<String, Summary> = BTreeMap::new();
+    // Dense reduction indexed by MetricId; converted to names at the end.
+    let width = rows.iter().map(|r| r.present.len()).max().unwrap_or(0);
+    let mut summaries: Vec<Summary> = vec![Summary::default(); width];
     for row in &rows {
-        for (k, &v) in row {
-            metrics.entry(k.clone()).or_default().observe(v);
+        for (ix, &p) in row.present.iter().enumerate() {
+            if p {
+                summaries[ix].observe(row.values[ix]);
+            }
         }
+    }
+    let mut metrics: BTreeMap<String, Summary> = BTreeMap::new();
+    for (ix, s) in summaries.into_iter().enumerate() {
+        if s.count() == 0 {
+            continue;
+        }
+        metrics.insert(MetricId::from_index(ix).name().to_string(), s);
     }
     // Guard against replications reporting different metric sets — a
     // frequent source of silently-wrong aggregate statistics.
@@ -98,9 +182,39 @@ fn aggregate(rows: Vec<MetricRow>) -> Aggregate {
     }
 }
 
-/// Convenience macro-free builder for a [`MetricRow`].
+/// Convenience builder for a [`MetricRow`].
 pub fn row(pairs: &[(&str, f64)]) -> MetricRow {
-    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    let mut r = MetricRow::new();
+    for (k, v) in pairs {
+        r.insert(k, *v);
+    }
+    r
+}
+
+/// Run a deterministic parameter sweep in parallel: one simulation per
+/// point, each seeded from `master.replication(index)` so the sweep is
+/// reproducible and insensitive to rayon's scheduling order. Results
+/// come back in input order.
+///
+/// ```
+/// use simcore::runner::sweep;
+/// use simcore::RngStreams;
+///
+/// let loads = [0.5, 1.0, 2.0];
+/// let out = sweep(RngStreams::new(7), &loads, |&load, _streams| load * 10.0);
+/// assert_eq!(out, vec![5.0, 10.0, 20.0]);
+/// ```
+pub fn sweep<P, R, F>(master: RngStreams, points: &[P], sim: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, RngStreams) -> R + Sync,
+{
+    points
+        .par_iter()
+        .enumerate()
+        .map(|(i, p)| sim(p, master.replication(i as u64)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -127,7 +241,10 @@ mod tests {
             let mut r = s.stream("x");
             row(&[("v", r.gen::<f64>())])
         });
-        assert!(agg.get("v").std() > 0.0, "replications must not be identical");
+        assert!(
+            agg.get("v").std() > 0.0,
+            "replications must not be identical"
+        );
         assert_eq!(agg.replications, 16);
     }
 
@@ -157,32 +274,69 @@ mod tests {
         let agg = replicate_seq(RngStreams::new(1), 2, |_i, _s| row(&[("a", 1.0)]));
         let _ = agg.mean("b");
     }
-}
 
-/// Run a deterministic parameter sweep in parallel: one simulation per
-/// point, each seeded from `master.replication(index)` so the sweep is
-/// reproducible and insensitive to rayon's scheduling order. Results
-/// come back in input order.
-///
-/// ```
-/// use simcore::runner::sweep;
-/// use simcore::RngStreams;
-///
-/// let loads = [0.5, 1.0, 2.0];
-/// let out = sweep(RngStreams::new(7), &loads, |&load, _streams| load * 10.0);
-/// assert_eq!(out, vec![5.0, 10.0, 20.0]);
-/// ```
-pub fn sweep<P, R, F>(master: RngStreams, points: &[P], sim: F) -> Vec<R>
-where
-    P: Sync,
-    R: Send,
-    F: Fn(&P, RngStreams) -> R + Sync,
-{
-    points
-        .par_iter()
-        .enumerate()
-        .map(|(i, p)| sim(p, master.replication(i as u64)))
-        .collect()
+    #[test]
+    fn row_roundtrips_by_id_and_name() {
+        let r = row(&[("row-rt-a", 1.5), ("row-rt-b", 0.0)]);
+        assert_eq!(r.get_name("row-rt-a"), Some(1.5));
+        assert_eq!(r.get_name("row-rt-b"), Some(0.0), "0.0 is a real value");
+        assert_eq!(r.get_name("row-rt-absent"), None);
+        assert_eq!(r.len(), 2);
+        let items: Vec<_> = r.iter().map(|(id, v)| (id.name(), v)).collect();
+        assert!(items.contains(&("row-rt-a", 1.5)));
+        assert!(items.contains(&("row-rt-b", 0.0)));
+    }
+
+    /// Regression guard for the dense-row change: `replicate()` must
+    /// aggregate to exactly what a name-keyed `BTreeMap` reduction of the
+    /// same rows produces (the pre-`MetricId` representation).
+    #[test]
+    fn aggregate_matches_name_keyed_reference() {
+        let master = RngStreams::new(4242);
+        let sim = |i: usize, s: RngStreams| -> Vec<(&'static str, f64)> {
+            let mut r = s.stream("load");
+            vec![
+                ("util", r.gen::<f64>()),
+                ("energy_kwh", 100.0 * r.gen::<f64>() + i as f64),
+                ("jobs", (i * 3) as f64),
+            ]
+        };
+        let n = 32;
+
+        // Reference: plain name-keyed reduction, as `aggregate` was
+        // implemented before interning.
+        let mut reference: BTreeMap<String, Summary> = BTreeMap::new();
+        for i in 0..n {
+            for (k, v) in sim(i, master.replication(i as u64)) {
+                reference.entry(k.to_string()).or_default().observe(v);
+            }
+        }
+
+        let agg = replicate(master, n, |i, s| {
+            let mut r = MetricRow::new();
+            for (k, v) in sim(i, s) {
+                r.insert(k, v);
+            }
+            r
+        });
+
+        assert_eq!(
+            agg.metrics.keys().collect::<Vec<_>>(),
+            reference.keys().collect::<Vec<_>>()
+        );
+        for (k, s) in &reference {
+            let a = agg.get(k);
+            assert_eq!(a.count(), s.count(), "{k} count");
+            assert_eq!(a.mean(), s.mean(), "{k} mean must be bit-identical");
+            assert_eq!(a.min(), s.min(), "{k} min");
+            assert_eq!(a.max(), s.max(), "{k} max");
+            assert_eq!(
+                a.ci95_halfwidth(),
+                s.ci95_halfwidth(),
+                "{k} ci95 must be bit-identical"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,12 +21,16 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 const MICROS_PER_SEC: i64 = 1_000_000;
 
 /// A point in virtual time (microseconds since the simulation epoch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(i64);
 
 /// A span of virtual time (microseconds; may be negative as an
 /// intermediate value, but scheduling negative delays is an error).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(i64);
 
 impl SimTime {
@@ -260,7 +264,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.day_index();
         let s = self.second_of_day();
-        write!(f, "d{}+{:02}:{:02}:{:02}", d, s / 3600, (s % 3600) / 60, s % 60)
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            d,
+            s / 3600,
+            (s % 3600) / 60,
+            s % 60
+        )
     }
 }
 
@@ -461,7 +472,10 @@ mod tests {
 
     #[test]
     fn mul_f64_rounds() {
-        assert_eq!(SimDuration::SECOND.mul_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::SECOND.mul_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::SECOND.mul_f64(1e-7), SimDuration::ZERO);
     }
 }

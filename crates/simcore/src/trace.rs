@@ -105,7 +105,11 @@ mod tests {
     #[test]
     fn records_when_enabled() {
         let mut tr = Trace::enabled();
-        tr.record(SimTime::from_secs(1), "arrival", &[("job", "42".to_string())]);
+        tr.record(
+            SimTime::from_secs(1),
+            "arrival",
+            &[("job", "42".to_string())],
+        );
         tr.record(SimTime::from_secs(2), "departure", &[]);
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.count_tag("arrival"), 1);

@@ -153,10 +153,7 @@ impl Building {
             .iter_mut()
             .zip(powers.iter().zip(&self.heater_max_w))
         {
-            assert!(
-                p <= cap + 1e-9,
-                "heater power {p} exceeds capacity {cap}"
-            );
+            assert!(p <= cap + 1e-9, "heater power {p} exceeds capacity {cap}");
             room.step(dt, outdoor_c, p);
         }
     }
@@ -238,7 +235,10 @@ mod tests {
         b.add_room(Room::new(RoomParams::typical_apartment_room(), 19.9), 500.0);
         let powers = b.collaborative_powers(CollaborativeTarget::new(21.0));
         for (i, &p) in powers.iter().enumerate() {
-            assert!(p <= 500.0 + 1e-9, "room {i} power {p} exceeds Q.rad capacity");
+            assert!(
+                p <= 500.0 + 1e-9,
+                "room {i} power {p} exceeds Q.rad capacity"
+            );
             assert!(p >= 0.0);
         }
     }

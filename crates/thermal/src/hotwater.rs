@@ -72,8 +72,7 @@ impl DhwProfile {
     /// Mean thermal power to serve the draw over a window starting at
     /// `t` (noise-free), W.
     pub fn mean_power_w(&self, t: SimTime) -> f64 {
-        let litres_per_s =
-            self.n_dwellings as f64 * self.litres_per_dwelling_day / 86_400.0;
+        let litres_per_s = self.n_dwellings as f64 * self.litres_per_dwelling_day / 86_400.0;
         litres_per_s
             * Self::diurnal_weight(t)
             * Self::seasonal_factor(t)
@@ -167,9 +166,7 @@ mod tests {
 
     #[test]
     fn draw_profile_has_morning_and_evening_peaks() {
-        let at = |h: i64| {
-            DhwProfile::diurnal_weight(SimTime::ZERO + SimDuration::from_hours(h))
-        };
+        let at = |h: i64| DhwProfile::diurnal_weight(SimTime::ZERO + SimDuration::from_hours(h));
         assert!(at(7) > 2.0 * at(12));
         assert!(at(19) > 2.0 * at(12));
         assert!(at(3) < 0.3);
@@ -240,8 +237,10 @@ mod tests {
         let mut rng = RngStreams::new(5).stream("dhw");
         let t = SimTime::ZERO + SimDuration::from_hours(7);
         let mean_expected = p.mean_power_w(t);
-        let mean_sampled: f64 =
-            (0..2_000).map(|_| p.sample_power_w(&mut rng, t)).sum::<f64>() / 2_000.0;
+        let mean_sampled: f64 = (0..2_000)
+            .map(|_| p.sample_power_w(&mut rng, t))
+            .sum::<f64>()
+            / 2_000.0;
         assert!((mean_sampled - mean_expected).abs() / mean_expected < 0.05);
     }
 }

@@ -101,8 +101,7 @@ impl Room {
         assert!(heater_w >= 0.0, "heater power cannot be negative");
         assert!(!dt.is_negative());
         let p = self.params;
-        let t_inf =
-            outdoor_c + p.resistance_k_per_w * (heater_w + p.internal_gains_w);
+        let t_inf = outdoor_c + p.resistance_k_per_w * (heater_w + p.internal_gains_w);
         let tau = p.resistance_k_per_w * p.capacitance_j_per_k;
         let decay = (-dt.as_secs_f64() / tau).exp();
         self.temperature_c = t_inf + (self.temperature_c - t_inf) * decay;
@@ -116,8 +115,7 @@ impl Room {
 
     /// The equilibrium temperature under constant conditions.
     pub fn equilibrium_c(&self, outdoor_c: f64, heater_w: f64) -> f64 {
-        outdoor_c
-            + self.params.resistance_k_per_w * (heater_w + self.params.internal_gains_w)
+        outdoor_c + self.params.resistance_k_per_w * (heater_w + self.params.internal_gains_w)
     }
 }
 

@@ -187,7 +187,10 @@ mod tests {
                 last = now;
             }
         }
-        assert_eq!(switches, 0, "oscillation inside the dead band must not switch");
+        assert_eq!(
+            switches, 0,
+            "oscillation inside the dead band must not switch"
+        );
     }
 
     #[test]

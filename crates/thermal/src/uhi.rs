@@ -164,8 +164,7 @@ impl DistrictGrid {
                 let up = self.theta[if y > 0 { i - w } else { i + w }];
                 let down = self.theta[if y + 1 < ht { i + w } else { i - w }];
                 let lap = left + right + up + down - 4.0 * t;
-                let dtheta =
-                    self.flux[i] / cap - t / p.dissipation_tau_s + d_over_dx2 * lap;
+                let dtheta = self.flux[i] / cap - t / p.dissipation_tau_s + d_over_dx2 * lap;
                 self.scratch[i] = t + h * dtheta;
             }
         }
@@ -233,7 +232,10 @@ mod tests {
         let centre = g.anomaly(8, 8);
         let near = g.anomaly(9, 8);
         let far = g.anomaly(15, 15);
-        assert!(centre > near, "centre {centre} hotter than neighbour {near}");
+        assert!(
+            centre > near,
+            "centre {centre} hotter than neighbour {near}"
+        );
         assert!(near > far, "anomaly decays with distance: {near} vs {far}");
         assert!(centre > 0.1);
     }

@@ -119,7 +119,7 @@ impl Weather {
         let mut rng = streams.stream("weather");
         let steps = (span.as_secs_f64() / resolution.as_secs_f64()).ceil() as usize + 1;
         let theta = 1.0 / (config.noise_correlation_days * 86_400.0); // 1/s
-        // Stationary std sigma_stat = sigma / sqrt(2 theta) → sigma:
+                                                                      // Stationary std sigma_stat = sigma / sqrt(2 theta) → sigma:
         let sigma = config.noise_std_c * (2.0 * theta).sqrt();
         let dt = resolution.as_secs_f64();
         let mut noise = Vec::with_capacity(steps);
@@ -203,10 +203,7 @@ mod tests {
     fn january_colder_than_july() {
         let cfg = WeatherConfig::paris(Calendar::JANUARY_EPOCH);
         let w = Weather::generate(cfg, SimDuration::YEAR, &streams());
-        let jan = w.mean_outdoor_c(
-            SimTime::ZERO,
-            SimTime::ZERO + SimDuration::from_days(31),
-        );
+        let jan = w.mean_outdoor_c(SimTime::ZERO, SimTime::ZERO + SimDuration::from_days(31));
         let jul_start = SimTime::ZERO + SimDuration::from_days(181);
         let jul = w.mean_outdoor_c(jul_start, jul_start + SimDuration::from_days(31));
         assert!(jan < 8.0, "January mean {jan} should be cold");
@@ -261,7 +258,11 @@ mod tests {
             dev.observe(w.outdoor_c(t) - det.baseline_at(t));
             t += SimDuration::from_hours(6);
         }
-        assert!(dev.mean().abs() < 1.0, "noise mean {} should be ~0", dev.mean());
+        assert!(
+            dev.mean().abs() < 1.0,
+            "noise mean {} should be ~0",
+            dev.mean()
+        );
         assert!(
             (dev.std() - 2.5).abs() < 1.0,
             "noise std {} should be ~2.5",

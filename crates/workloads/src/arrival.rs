@@ -134,12 +134,21 @@ mod tests {
         let end = SimTime::from_secs(200_000);
         let arr = nonhomogeneous_arrivals(
             &mut r,
-            |t| if t < SimTime::from_secs(100_000) { 1.0 } else { 0.1 },
+            |t| {
+                if t < SimTime::from_secs(100_000) {
+                    1.0
+                } else {
+                    0.1
+                }
+            },
             1.0,
             SimTime::ZERO,
             end,
         );
-        let first = arr.iter().filter(|&&t| t < SimTime::from_secs(100_000)).count();
+        let first = arr
+            .iter()
+            .filter(|&&t| t < SimTime::from_secs(100_000))
+            .count();
         let second = arr.len() - first;
         let ratio = first as f64 / second.max(1) as f64;
         assert!((8.0..12.5).contains(&ratio), "ratio {ratio} should be ~10");

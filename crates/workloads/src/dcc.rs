@@ -157,10 +157,7 @@ mod tests {
         );
         let expected = 120.0 * 24.0 * 7.0;
         assert!((s.len() as f64 - expected).abs() / expected < 0.1);
-        let night = s
-            .iter()
-            .filter(|j| j.arrival.hour_of_day() < 6.0)
-            .count();
+        let night = s.iter().filter(|j| j.arrival.hour_of_day() < 6.0).count();
         assert!(
             (night as f64 / s.len() as f64 - 0.25).abs() < 0.05,
             "night share should be ~25 %"

@@ -147,8 +147,9 @@ pub fn sense_actuate_jobs(
     let mut t = SimTime::ZERO;
     let mut i = 0u64;
     while t < SimTime::ZERO + span {
-        let jitter =
-            cfg.period.mul_f64(cfg.jitter * (rng.gen::<f64>() * 2.0 - 1.0));
+        let jitter = cfg
+            .period
+            .mul_f64(cfg.jitter * (rng.gen::<f64>() * 2.0 - 1.0));
         let arrival = t + jitter.max(SimDuration::ZERO);
         jobs.push(Job {
             id: JobId(id_base + i),
@@ -180,7 +181,9 @@ mod tests {
             0,
         );
         assert!(s.len() > 10_000, "a day of map requests, got {}", s.len());
-        assert!(s.iter().all(|j| j.deadline == Some(SimDuration::from_millis(300))));
+        assert!(s
+            .iter()
+            .all(|j| j.deadline == Some(SimDuration::from_millis(300))));
         assert!(s.iter().all(|j| j.is_edge()));
     }
 
@@ -199,10 +202,7 @@ mod tests {
                 (7.0..10.0).contains(&h) || (16.0..19.0).contains(&h)
             })
             .count();
-        let night = s
-            .iter()
-            .filter(|j| j.arrival.hour_of_day() < 5.0)
-            .count();
+        let night = s.iter().filter(|j| j.arrival.hour_of_day() < 5.0).count();
         assert!(rush > 3 * night, "rush {rush} vs night {night}");
     }
 

@@ -88,8 +88,10 @@ mod tests {
     fn day_target_above_night_target() {
         let reqs = household_requests(SimDuration::from_days(5), &RngStreams::new(6), 0);
         let noon = SimTime::ZERO + SimDuration::from_days(2) + SimDuration::from_hours(12);
-        let night =
-            SimTime::ZERO + SimDuration::from_days(2) + SimDuration::from_hours(23) + SimDuration::from_secs(45 * 60);
+        let night = SimTime::ZERO
+            + SimDuration::from_days(2)
+            + SimDuration::from_hours(23)
+            + SimDuration::from_secs(45 * 60);
         let day_t = target_at(&reqs, noon, 19.0);
         let night_t = target_at(&reqs, night, 19.0);
         assert!(

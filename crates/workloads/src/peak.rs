@@ -79,8 +79,7 @@ mod tests {
             factor: 10.0,
         };
         let peaked = inject_peak(&b, peak, &RngStreams::new(8), 1_000_000);
-        let count =
-            |s: &JobStream| s.window(peak.start, peak.start + peak.duration).count();
+        let count = |s: &JobStream| s.window(peak.start, peak.start + peak.duration).count();
         let before = count(&b) as f64;
         let after = count(&peaked) as f64;
         assert!(

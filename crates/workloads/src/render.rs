@@ -85,7 +85,9 @@ impl RenderYear {
         let n_batches = ((total_images as f64 / cal.mean_batch_frames).ceil() as usize).max(1);
 
         // Pareto-skewed user weights: a few studios dominate.
-        let user_weights: Vec<f64> = (0..cal.n_users).map(|_| pareto(&mut rng, 1.0, 1.3)).collect();
+        let user_weights: Vec<f64> = (0..cal.n_users)
+            .map(|_| pareto(&mut rng, 1.0, 1.3))
+            .collect();
 
         // Batch submissions arrive through the year, business-hours shaped.
         let year_end = SimTime::ZERO + SimDuration::YEAR;
@@ -126,7 +128,7 @@ impl RenderYear {
                 work_gops: per_image * batch as f64,
                 cores,
                 deadline: None,
-                input_bytes: 50_000_000,   // scene assets
+                input_bytes: 50_000_000,                  // scene assets
                 output_bytes: 8_000_000 * batch as usize, // rendered frames
                 org: user,
             });
@@ -182,11 +184,8 @@ mod tests {
 
     #[test]
     fn activity_is_user_skewed() {
-        let y = RenderYear::generate_with(
-            RenderCalibration::qarnot_2016(),
-            &RngStreams::new(42),
-            0.02,
-        );
+        let y =
+            RenderYear::generate_with(RenderCalibration::qarnot_2016(), &RngStreams::new(42), 0.02);
         let mut per_user = std::collections::HashMap::new();
         for j in y.stream.iter() {
             *per_user.entry(j.org).or_insert(0u32) += 1;
@@ -202,16 +201,16 @@ mod tests {
             top10 as f64 / total as f64 > 0.2,
             "top-decile users should dominate ({top10}/{total})"
         );
-        assert!(counts[0] >= 3, "the biggest studio should submit repeatedly");
+        assert!(
+            counts[0] >= 3,
+            "the biggest studio should submit repeatedly"
+        );
     }
 
     #[test]
     fn submissions_follow_business_hours() {
-        let y = RenderYear::generate_with(
-            RenderCalibration::qarnot_2016(),
-            &RngStreams::new(42),
-            0.02,
-        );
+        let y =
+            RenderYear::generate_with(RenderCalibration::qarnot_2016(), &RngStreams::new(42), 0.02);
         let day: usize = y
             .stream
             .iter()
@@ -226,16 +225,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = RenderYear::generate_with(
-            RenderCalibration::qarnot_2016(),
-            &RngStreams::new(9),
-            0.01,
-        );
-        let b = RenderYear::generate_with(
-            RenderCalibration::qarnot_2016(),
-            &RngStreams::new(9),
-            0.01,
-        );
+        let a =
+            RenderYear::generate_with(RenderCalibration::qarnot_2016(), &RngStreams::new(9), 0.01);
+        let b =
+            RenderYear::generate_with(RenderCalibration::qarnot_2016(), &RngStreams::new(9), 0.01);
         assert_eq!(a.stream.len(), b.stream.len());
         assert_eq!(a.total_frames(), b.total_frames());
     }

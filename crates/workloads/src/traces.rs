@@ -109,7 +109,12 @@ mod tests {
 
     fn sample() -> JobStream {
         let streams = RngStreams::new(44);
-        let a = boinc_jobs(BoincConfig::standard(), SimDuration::from_hours(2), &streams, 0);
+        let a = boinc_jobs(
+            BoincConfig::standard(),
+            SimDuration::from_hours(2),
+            &streams,
+            0,
+        );
         let b = location_service_jobs(
             LocationServiceConfig::map_serving(Flow::EdgeDirect),
             SimDuration::from_hours(2),
@@ -132,9 +137,7 @@ mod tests {
             assert_eq!(a.org, b.org);
             assert_eq!(a.input_bytes, b.input_bytes);
             assert!((a.work_gops - b.work_gops).abs() < 1e-5);
-            assert!(
-                (a.arrival.as_secs_f64() - b.arrival.as_secs_f64()).abs() < 1e-5
-            );
+            assert!((a.arrival.as_secs_f64() - b.arrival.as_secs_f64()).abs() < 1e-5);
             match (a.deadline, b.deadline) {
                 (None, None) => {}
                 (Some(x), Some(y)) => {

@@ -42,7 +42,11 @@ fn main() {
     let (a_dir, _, _) = run(Flow::EdgeDirect, false);
 
     let mut t = Table::new("drill results").headers(&["deployment", "attainment", "rejected"]);
-    t.row(&["indirect (master-routed)".into(), pct(a_ind), rej.to_string()]);
+    t.row(&[
+        "indirect (master-routed)".into(),
+        pct(a_ind),
+        rej.to_string(),
+    ]);
     t.row(&["indirect + ROC fallback".into(), pct(a_roc), "0".into()]);
     t.row(&["direct".into(), pct(a_dir), "0".into()]);
     println!("{}", t.render());

@@ -24,7 +24,10 @@ fn main() {
     // 800 homes heated by Q.rads.
     let model = DemandModel::residential(800);
     let trace = generate_trace(model, &weather, SimDuration::HOUR, &streams);
-    println!("generated {} hourly demand samples for 800 homes", trace.len());
+    println!(
+        "generated {} hourly demand samples for 800 homes",
+        trace.len()
+    );
 
     // Recover thermosensitivity from evening samples (§III-C).
     let samples: Vec<(f64, f64)> = trace

@@ -36,11 +36,17 @@ fn main() {
     let s = &outcome.stats;
 
     let mut t = Table::new("quickstart results").headers(&["metric", "value"]);
-    t.row(&["edge requests completed".into(), s.edge_completed.get().to_string()]);
+    t.row(&[
+        "edge requests completed".into(),
+        s.edge_completed.get().to_string(),
+    ]);
     t.row(&["deadline attainment".into(), pct(s.edge_attainment())]);
     t.row(&["response p50 (ms)".into(), f2(s.edge_response_ms.p50())]);
     t.row(&["response p99 (ms)".into(), f2(s.edge_response_ms.p99())]);
-    t.row(&["mean room temperature (°C)".into(), f2(s.room_temp_c.summary().mean())]);
+    t.row(&[
+        "mean room temperature (°C)".into(),
+        f2(s.room_temp_c.summary().mean()),
+    ]);
     t.row(&["fleet energy (kWh)".into(), f2(s.df_total_kwh)]);
     t.row(&["simulation events".into(), outcome.events.to_string()]);
     println!("{}", t.render());

@@ -38,21 +38,32 @@ fn main() {
     let s = &outcome.stats;
 
     let mut t = Table::new("render farm year").headers(&["metric", "value"]);
-    t.row(&["batches completed".into(), s.dcc_completed.get().to_string()]);
+    t.row(&[
+        "batches completed".into(),
+        s.dcc_completed.get().to_string(),
+    ]);
     t.row(&[
         "CPU-hours completed".into(),
         f2(s.dcc_work_gops / 2.4 / 3_600.0),
     ]);
     t.row(&["mean slowdown".into(), f2(s.dcc_slowdown.mean())]);
     t.row(&["datacenter overflow share".into(), pct(s.dc_share())]);
-    t.row(&["vertical offloads".into(), s.offload_vertical.get().to_string()]);
+    t.row(&[
+        "vertical offloads".into(),
+        s.offload_vertical.get().to_string(),
+    ]);
     t.row(&["fleet energy (kWh)".into(), f2(s.df_total_kwh)]);
     t.row(&["platform PUE (conservative)".into(), f2(s.pue())]);
     println!("{}", t.render());
 
     // Monthly capacity: the seasonality the render farm rides on.
     let mut months = Table::new("mean usable DF cores by month").headers(&["month", "cores"]);
-    for m in s.usable_cores.monthly(Calendar::JANUARY_EPOCH).iter().take(12) {
+    for m in s
+        .usable_cores
+        .monthly(Calendar::JANUARY_EPOCH)
+        .iter()
+        .take(12)
+    {
         months.row(&[m.month_name.into(), f2(m.stats.mean())]);
     }
     println!("{}", months.render());

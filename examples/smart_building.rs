@@ -37,7 +37,14 @@ fn main() {
     let mut jobs = JobStream::new(vec![]);
     let mut expected_events = 0;
     for mic in 0..8u64 {
-        let (s, events) = alarm_jobs(pipeline, horizon, &streams, mic, mic * 10_000_000, Flow::EdgeDirect);
+        let (s, events) = alarm_jobs(
+            pipeline,
+            horizon,
+            &streams,
+            mic,
+            mic * 10_000_000,
+            Flow::EdgeDirect,
+        );
         expected_events += events;
         jobs = jobs.merge(s);
     }
@@ -67,11 +74,23 @@ fn main() {
     let s = &outcome.stats;
 
     let mut t = Table::new("smart building (architecture B)").headers(&["metric", "value"]);
-    t.row(&["edge requests completed".into(), s.edge_completed.get().to_string()]);
-    t.row(&["edge attainment (500 ms / 10 s budgets)".into(), pct(s.edge_attainment())]);
+    t.row(&[
+        "edge requests completed".into(),
+        s.edge_completed.get().to_string(),
+    ]);
+    t.row(&[
+        "edge attainment (500 ms / 10 s budgets)".into(),
+        pct(s.edge_attainment()),
+    ]);
     t.row(&["edge p99 (ms)".into(), f2(s.edge_response_ms.p99())]);
-    t.row(&["DCC tasks completed".into(), s.dcc_completed.get().to_string()]);
-    t.row(&["mean room temperature (°C)".into(), f2(s.room_temp_c.summary().mean())]);
+    t.row(&[
+        "DCC tasks completed".into(),
+        s.dcc_completed.get().to_string(),
+    ]);
+    t.row(&[
+        "mean room temperature (°C)".into(),
+        f2(s.room_temp_c.summary().mean()),
+    ]);
     t.row(&["building energy (kWh)".into(), f2(s.df_total_kwh)]);
     t.row(&["of which compute (kWh)".into(), f2(s.df_compute_kwh)]);
     println!("{}", t.render());

@@ -34,8 +34,18 @@ fn mixed_workload(hours: i64, seed: u64) -> JobStream {
         Flow::EdgeDirect,
     );
     jobs = jobs.merge(alarms);
-    jobs = jobs.merge(boinc_jobs(BoincConfig::standard(), span, &streams, 30_000_000));
-    jobs.merge(finance_jobs(FinanceConfig::bank(), span, &streams, 40_000_000))
+    jobs = jobs.merge(boinc_jobs(
+        BoincConfig::standard(),
+        span,
+        &streams,
+        30_000_000,
+    ));
+    jobs.merge(finance_jobs(
+        FinanceConfig::bank(),
+        span,
+        &streams,
+        40_000_000,
+    ))
 }
 
 fn config(hours: i64) -> PlatformConfig {
@@ -49,8 +59,16 @@ fn mixed_flows_coexist_with_high_edge_quality() {
     let jobs = mixed_workload(4, 11);
     let out = Platform::new(config(4)).run(&jobs);
     let s = &out.stats;
-    assert!(s.edge_completed.get() > 10_000, "edge volume: {}", s.edge_completed.get());
-    assert!(s.dcc_completed.get() > 50, "dcc volume: {}", s.dcc_completed.get());
+    assert!(
+        s.edge_completed.get() > 10_000,
+        "edge volume: {}",
+        s.edge_completed.get()
+    );
+    assert!(
+        s.dcc_completed.get() > 50,
+        "dcc volume: {}",
+        s.dcc_completed.get()
+    );
     assert!(
         s.edge_attainment() > 0.9,
         "edge attainment under mixed load: {}",

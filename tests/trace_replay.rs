@@ -20,7 +20,12 @@ fn replayed_trace_reproduces_the_run_exactly() {
         &streams,
         0,
     )
-    .merge(boinc_jobs(BoincConfig::standard(), span, &streams, 1_000_000));
+    .merge(boinc_jobs(
+        BoincConfig::standard(),
+        span,
+        &streams,
+        1_000_000,
+    ));
 
     let replayed = from_csv(&to_csv(&original)).expect("roundtrip");
 

@@ -1,0 +1,123 @@
+//! Offline vendored subset of the `bytes` crate: an [`Arc`]-backed,
+//! cheaply cloneable byte buffer whose [`Bytes::slice`] produces
+//! zero-copy views sharing the parent allocation — the property
+//! `dfnet::message` relies on for O(fragments) payload fragmentation.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A reference-counted immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-view; shares the underlying allocation.
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for Bytes of length {}",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn as_ptr(&self) -> *const u8 {
+        self.data[self.start..self.end].as_ptr()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        v.to_vec().into()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_share_allocation() {
+        let b = Bytes::from((0..100u8).collect::<Vec<u8>>());
+        let s = b.slice(10..20);
+        assert_eq!(s.len(), 10);
+        assert_eq!(&s[..], &(10..20u8).collect::<Vec<u8>>()[..]);
+        let base = b.as_ptr() as usize;
+        let sp = s.as_ptr() as usize;
+        assert_eq!(sp, base + 10);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::from(vec![0, 1, 2, 3]).slice(1..4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::new().len(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline vendored micro-benchmark harness, API-compatible with the
+//! subset of criterion this workspace uses: `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Two modes, selected the same way upstream criterion does:
+//!
+//! - **Bench mode** (`cargo bench` passes `--bench`): warm up, then take
+//!   timed samples and report median ns/iter with spread.
+//! - **Test mode** (`cargo test` runs harness-less bench binaries with no
+//!   `--bench` flag): run each benchmark body once so benches can't
+//!   bit-rot, without burning CI time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point, one per bench binary.
+pub struct Criterion {
+    bench_mode: bool,
+    /// Substring filters from the command line (criterion convention).
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let bench_mode = args.iter().any(|a| a == "--bench");
+        let filters = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+        Criterion {
+            bench_mode,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p.as_str())) {
+            return self;
+        }
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.bench_mode {
+            b.report(name);
+        } else {
+            println!("test-mode ok: {name}");
+        }
+        self
+    }
+
+    /// Start a named group; benchmark ids are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (upstream groups also share sampling
+/// configuration; here `sample_size` is accepted and ignored since the
+/// harness sizes samples by wall-clock budget).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` runs and times the closure.
+pub struct Bencher {
+    bench_mode: bool,
+    /// Per-sample mean ns/iter.
+    samples: Vec<f64>,
+}
+
+/// Wall-clock budget per benchmark in bench mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+const TARGET_SAMPLES: usize = 24;
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            iters_done += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
+        // Size each sample so TARGET_SAMPLES of them fill the budget.
+        let sample_ns = MEASURE_BUDGET.as_nanos() as f64 / TARGET_SAMPLES as f64;
+        let iters_per_sample = ((sample_ns / est_ns) as u64).max(1);
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        let lo = s[s.len() / 20];
+        let hi = s[s.len() - 1 - s.len() / 20];
+        println!("{name:<44} time: [{lo:>12.1} ns {median:>12.1} ns {hi:>12.1} ns] /iter");
+    }
+
+    /// Median ns/iter of the collected samples (bench mode only).
+    pub fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(s[s.len() / 2])
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            filters: vec![],
+        };
+        let mut runs = 0;
+        c.bench_function("x", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut b = Bencher {
+            bench_mode: true,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.median_ns().is_some());
+    }
+}

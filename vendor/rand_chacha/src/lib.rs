@@ -1,0 +1,179 @@
+//! Offline vendored ChaCha8 RNG.
+//!
+//! A faithful ChaCha stream cipher core (Bernstein 2008, 8 rounds) driven
+//! as a random-number generator: 256-bit seed as the key, 64-bit block
+//! counter, zero nonce. Cryptographic-quality diffusion, platform-stable
+//! output, `Clone`-able state — the three properties `simcore::rng`'s
+//! named-stream design relies on. Bit-streams are pinned by this
+//! repository's own tests, not by the upstream `rand_chacha` crate.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+const WORDS: usize = 16;
+
+/// The ChaCha8 random-number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, counter, nonce.
+    input: [u32; WORDS],
+    /// Current keystream block.
+    buf: [u32; WORDS],
+    /// Next unread word in `buf` (WORDS = exhausted).
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = self.input;
+        for _ in 0..(ROUNDS / 2) {
+            // Column round.
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(self.input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.buf = x;
+        self.idx = 0;
+        // 64-bit block counter in words 12-13.
+        let (lo, carry) = self.input[12].overflowing_add(1);
+        self.input[12] = lo;
+        if carry {
+            self.input[13] = self.input[13].wrapping_add(1);
+        }
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut input = [0u32; WORDS];
+        // "expand 32-byte k"
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646e;
+        input[2] = 0x7962_2d32;
+        input[3] = 0x6b20_6574;
+        for i in 0..8 {
+            input[4 + i] = u32::from_le_bytes([
+                seed[i * 4],
+                seed[i * 4 + 1],
+                seed[i * 4 + 2],
+                seed[i * 4 + 3],
+            ]);
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            input,
+            buf: [0; WORDS],
+            idx: WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let b = self.next_word().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&b[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::from_seed([1; 32]);
+        let mut b = ChaCha8Rng::from_seed([2; 32]);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn stream_continues_across_blocks() {
+        // 16 words per block; crossing the boundary must not repeat.
+        let mut r = ChaCha8Rng::from_seed([9; 32]);
+        let words: Vec<u32> = (0..64).map(|_| r.next_u32()).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() > 60, "keystream words should not collide");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut r = ChaCha8Rng::from_seed([3; 32]);
+        for _ in 0..7 {
+            r.next_u32();
+        }
+        let mut c = r.clone();
+        for _ in 0..100 {
+            assert_eq!(r.next_u64(), c.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of many uniform u8s should be near 127.5.
+        let mut r = ChaCha8Rng::from_seed([5; 32]);
+        let mut buf = [0u8; 4096];
+        r.fill_bytes(&mut buf);
+        let mean = buf.iter().map(|&b| b as f64).sum::<f64>() / buf.len() as f64;
+        assert!((mean - 127.5).abs() < 5.0, "mean {mean}");
+    }
+}

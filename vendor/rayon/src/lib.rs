@@ -1,0 +1,190 @@
+//! Offline vendored subset of the rayon API.
+//!
+//! Implements exactly the chains this workspace uses —
+//! `(0..n).into_par_iter().map(f).collect()` and
+//! `slice.par_iter().enumerate().map(f).collect()` — with **real
+//! parallelism** over `std::thread::scope` and an atomic work-stealing
+//! index, so Monte-Carlo replications and parameter sweeps still fan out
+//! across cores. Results are always returned in input order, preserving
+//! the determinism guarantees `simcore::runner` documents.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` in parallel, preserving input order.
+///
+/// Dynamic scheduling: each worker claims the next unprocessed index, so
+/// heterogeneous per-item costs (e.g. parameter sweeps where load grows
+/// with the point) still balance. Falls back to a sequential loop for
+/// tiny inputs or single-core hosts.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item claimed twice");
+                let result = f(item);
+                *out[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker died before finishing")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator (items pending fan-out).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+/// The result of `.map(f)`: terminal, consumed by `.collect()`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Entry point for owned collections/ranges: `into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Entry point for borrowed slices: `par_iter()`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn slice_par_iter_enumerate() {
+        let points = [10, 20, 30, 40];
+        let v: Vec<(usize, i32)> = points
+            .par_iter()
+            .enumerate()
+            .map(|(i, &p)| (i, p + 1))
+            .collect();
+        assert_eq!(v, vec![(0, 11), (1, 21), (2, 31), (3, 41)]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let e: Vec<u64> = (0..0u64).into_par_iter().map(|x| x).collect();
+        assert!(e.is_empty());
+        let s: Vec<u64> = (5..6u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(s, vec![25]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_or_at_least_correctly() {
+        // Heavier load: results must still come back in order.
+        let v: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| (0..10_000).fold(i, |a, b| a.wrapping_add(b * i)))
+            .collect();
+        let w: Vec<u64> = (0..64u64)
+            .map(|i| (0..10_000).fold(i, |a, b| a.wrapping_add(b * i)))
+            .collect();
+        assert_eq!(v, w);
+    }
+}

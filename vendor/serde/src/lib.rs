@@ -1,0 +1,14 @@
+//! Offline vendored serde facade.
+//!
+//! Re-exports the no-op derive macros and declares the marker traits so
+//! `use serde::{Deserialize, Serialize};` resolves in both the trait and
+//! macro namespaces, exactly as with upstream serde. Nothing in this
+//! workspace performs actual serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline vendored no-op serde derives.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many model structs
+//! but never actually serializes them (there is no serde_json or other
+//! format crate in the dependency tree). These derives therefore expand
+//! to nothing; they exist so the annotations — including `#[serde(...)]`
+//! helper attributes — keep compiling offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
