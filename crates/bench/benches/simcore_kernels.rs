@@ -4,10 +4,13 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use df3_core::{Platform, PlatformConfig};
 use simcore::metrics::Histogram;
-use simcore::time::{SimDuration, SimTime};
+use simcore::time::{Calendar, SimDuration, SimTime};
 use simcore::{EventQueue, LegacyEventQueue, RngStreams, SlabEventQueue};
 use thermal::room::{Room, RoomParams};
+use thermal::weather::{Weather, WeatherConfig, WeatherTable};
+use thermal::ThermalBatch;
 use workloads::edge::{location_service_jobs, LocationServiceConfig};
+use workloads::job::JobStream;
 use workloads::Flow;
 
 /// Event payload sized like the platform's `Ev` enum (≈100 bytes).
@@ -151,6 +154,96 @@ fn bench(c: &mut Criterion) {
                 black_box(5.0),
                 black_box(400.0),
             )
+        })
+    });
+    // The PR 2 tentpole A/B: one staged SoA sweep over N rooms versus N
+    // scalar `Room::step` calls. Heater powers vary per room so the
+    // batch cannot special-case a uniform fleet; dt is fixed so the
+    // decay cache stays warm — the steady state of a platform run.
+    for &n in &[1_000usize, 10_000] {
+        let dt = SimDuration::from_secs(600);
+        c.bench_function(&format!("thermal_batch_uniform_{n}"), |b| {
+            let mut batch = ThermalBatch::with_capacity(n);
+            for i in 0..n {
+                batch.push(
+                    RoomParams::typical_apartment_room(),
+                    16.0 + (i % 40) as f64 / 20.0,
+                );
+            }
+            let powers: Vec<f64> = (0..n).map(|i| (i % 500) as f64).collect();
+            b.iter(|| {
+                batch.step_uniform(dt, black_box(5.0), &powers);
+                black_box(batch.temperature_c(0))
+            })
+        });
+        c.bench_function(&format!("thermal_batch_step_{n}"), |b| {
+            let mut batch = ThermalBatch::with_capacity(n);
+            for i in 0..n {
+                batch.push(
+                    RoomParams::typical_apartment_room(),
+                    16.0 + (i % 40) as f64 / 20.0,
+                );
+            }
+            b.iter(|| {
+                for i in 0..n {
+                    batch.stage(i, dt, (i % 500) as f64);
+                }
+                batch.step_staged(black_box(5.0));
+                black_box(batch.temperature_c(0))
+            })
+        });
+        c.bench_function(&format!("thermal_scalar_step_{n}"), |b| {
+            let mut rooms: Vec<Room> = (0..n)
+                .map(|i| {
+                    Room::new(
+                        RoomParams::typical_apartment_room(),
+                        16.0 + (i % 40) as f64 / 20.0,
+                    )
+                })
+                .collect();
+            b.iter(|| {
+                let mut last = 0.0;
+                for (i, room) in rooms.iter_mut().enumerate() {
+                    last = room.step(dt, black_box(5.0), (i % 500) as f64);
+                }
+                black_box(last)
+            })
+        });
+    }
+    c.bench_function("weather_analytic_lookup", |b| {
+        let weather = Weather::generate(
+            WeatherConfig::paris(Calendar::NOVEMBER_EPOCH),
+            SimDuration::from_days(30),
+            &RngStreams::new(9),
+        );
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 601) % (29 * 86_400);
+            black_box(weather.outdoor_c(SimTime::from_secs(t)))
+        })
+    });
+    c.bench_function("weather_table_lookup", |b| {
+        let weather = Weather::generate(
+            WeatherConfig::paris(Calendar::NOVEMBER_EPOCH),
+            SimDuration::from_days(30),
+            &RngStreams::new(9),
+        );
+        let table = WeatherTable::tabulate(&weather);
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 601) % (29 * 86_400);
+            black_box(table.outdoor_c(SimTime::from_secs(t)))
+        })
+    });
+    c.bench_function("district_platform_1h", |b| {
+        // 100 buildings × 10 Q.rads stepping their thermals through the
+        // batched kernel; no job traffic, so control ticks dominate.
+        let jobs = JobStream::new(vec![]);
+        b.iter(|| {
+            let mut cfg = PlatformConfig::district_winter();
+            cfg.horizon = SimDuration::from_hours(1);
+            let out = Platform::new(cfg).run(&jobs);
+            black_box(out.events)
         })
     });
     c.bench_function("rng_stream_derivation", |b| {

@@ -342,7 +342,7 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
-fn json_kv(out: &mut String, indent: &str, key: &str, value: String, last: bool) {
+pub(crate) fn json_kv(out: &mut String, indent: &str, key: &str, value: String, last: bool) {
     out.push_str(indent);
     out.push('"');
     out.push_str(json_escape_free(key));
@@ -354,7 +354,7 @@ fn json_kv(out: &mut String, indent: &str, key: &str, value: String, last: bool)
     out.push('\n');
 }
 
-fn jf(v: f64) -> String {
+pub(crate) fn jf(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
     } else {

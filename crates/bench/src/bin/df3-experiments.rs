@@ -4,7 +4,7 @@
 //! df3-experiments            # run the whole suite
 //! df3-experiments e1 e4 e13  # run selected experiments
 //! df3-experiments --fast     # reduced scales (CI-sized)
-//! df3-experiments bench      # performance trajectory → BENCH_PR1.json
+//! df3-experiments bench      # performance trajectory → BENCH_PR2.json
 //! ```
 
 use std::env;
@@ -20,10 +20,10 @@ fn main() {
         .collect();
     if selected.iter().any(|s| s == "bench") {
         let t0 = Instant::now();
-        let (report, table) = bench::bench_pr1::run(fast);
+        let (report, table) = bench::bench_pr2::run(fast);
         println!("{}", table.render());
-        let path = "BENCH_PR1.json";
-        std::fs::write(path, report.to_json()).expect("write BENCH_PR1.json");
+        let path = "BENCH_PR2.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_PR2.json");
         println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
         return;
     }

@@ -47,9 +47,9 @@ pub fn run(seed: u64) -> (BoilerComparison, Table) {
         0,
         Arc::new(DvfsLadder::desktop_i7()),
         HeatRegulator::for_qrad(),
-        Room::new(RoomParams::insulated_room(), 18.0),
         ModulatingThermostat::new(SetpointSchedule::standard(), 1.0),
     );
+    let mut heater_room = Room::new(RoomParams::insulated_room(), 18.0);
     // Boilers: Stimergy racks on 12-dwelling tanks.
     let mut on_demand = BoilerSim::stimergy(12, BoilerMode::OnDemand, &streams, 0);
     let mut always_on = BoilerSim::stimergy(12, BoilerMode::AlwaysOn, &streams, 1);
@@ -60,7 +60,7 @@ pub fn run(seed: u64) -> (BoilerComparison, Table) {
     let mut ao_monthly = vec![(0.0f64, 0usize); 12];
     let mut t = SimTime::ZERO;
     while t < SimTime::ZERO + SimDuration::YEAR {
-        heater.control_tick(t, weather.outdoor_c(t), 100);
+        heater.control_tick(t, weather.outdoor_c(t), 100, &mut heater_room);
         on_demand.control_tick(t);
         always_on.control_tick(t);
         let m = cal.month_index(t).calendar as usize;

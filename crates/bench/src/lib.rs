@@ -10,6 +10,7 @@
 //! code serves Criterion micro-runs, CI tests, and full regenerations.
 
 pub mod bench_pr1;
+pub mod bench_pr2;
 pub mod experiments;
 
 pub use experiments::*;

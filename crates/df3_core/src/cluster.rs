@@ -14,7 +14,8 @@ use sched::queue::{Discipline, ReadyQueue};
 use sched::ClusterLoad;
 use simcore::time::{SimDuration, SimTime};
 use std::sync::Arc;
-use thermal::room::{Room, RoomParams};
+use thermal::batch::ThermalBatch;
+use thermal::room::RoomParams;
 use thermal::thermostat::{ModulatingThermostat, SetpointSchedule};
 use workloads::{Job, JobId};
 
@@ -33,25 +34,36 @@ pub struct ClusterSim {
     pub id: usize,
     pub arch: ArchClass,
     workers: Vec<WorkerSim>,
+    /// First room slot of this cluster in the fleet [`ThermalBatch`]
+    /// (worker `w`'s room is slot `room_base + w`).
+    room_base: usize,
     pub edge_queue: ReadyQueue,
     pub dcc_queue: ReadyQueue,
 }
 
 impl ClusterSim {
-    /// Build a cluster of `n_workers` Q.rads with per-room thermal
-    /// diversity (initial temperatures spread around 17 °C so rooms are
-    /// not artificially synchronised).
-    pub fn new(id: usize, n_workers: usize, arch: ArchClass, setpoint_c: f64) -> Self {
+    /// Build a cluster of `n_workers` Q.rads, appending their rooms to
+    /// the fleet batch with per-room thermal diversity (initial
+    /// temperatures spread around 17 °C so rooms are not artificially
+    /// synchronised).
+    pub fn new(
+        id: usize,
+        n_workers: usize,
+        arch: ArchClass,
+        setpoint_c: f64,
+        rooms: &mut ThermalBatch,
+    ) -> Self {
         assert!(n_workers > 0);
         let ladder = Arc::new(DvfsLadder::desktop_i7());
+        let room_base = rooms.len();
         let workers = (0..n_workers)
             .map(|w| {
                 let initial_c = 16.0 + ((id * 31 + w * 7) % 40) as f64 / 20.0; // 16.0..18.0
+                rooms.push(RoomParams::typical_apartment_room(), initial_c);
                 let mut ws = WorkerSim::new(
                     w,
                     ladder.clone(),
                     HeatRegulator::for_qrad(),
-                    Room::new(RoomParams::typical_apartment_room(), initial_c),
                     ModulatingThermostat::new(
                         SetpointSchedule {
                             day_c: setpoint_c,
@@ -72,9 +84,16 @@ impl ClusterSim {
             id,
             arch,
             workers,
+            room_base,
             edge_queue: ReadyQueue::new(Discipline::Edf),
             dcc_queue: ReadyQueue::new(Discipline::Fifo),
         }
+    }
+
+    /// Room slot of worker `w` in the fleet batch.
+    #[inline]
+    pub fn room_slot(&self, w: usize) -> usize {
+        self.room_base + w
     }
 
     pub fn n_workers(&self) -> usize {
@@ -122,12 +141,36 @@ impl ClusterSim {
         }
     }
 
+    /// Tick a single worker off-cycle (the wake path): advance its room
+    /// in the fleet batch by the elapsed interval, then complete its
+    /// control decision against `backlog` cores.
+    fn tick_worker(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        outdoor_c: f64,
+        backlog: usize,
+        rooms: &mut ThermalBatch,
+    ) -> f64 {
+        let slot = self.room_base + i;
+        let w = &mut self.workers[i];
+        let dt = now.saturating_since(w.last_tick());
+        let room_c = rooms.step_one(slot, dt, outdoor_c, w.heat_w());
+        w.complete_tick(now, room_c, backlog)
+    }
+
     /// Try to start `job` now. Tries workers with free budgeted cores
     /// first (preferring ones already serving the job's flow, to avoid
     /// switch costs); failing that, wakes an eligible idle worker via
     /// its regulator (the board may be off between control ticks).
     /// DCC jobs are **moldable**: they shrink to the available width.
-    pub fn try_dispatch(&mut self, now: SimTime, outdoor_c: f64, job: Job) -> Dispatch {
+    pub fn try_dispatch(
+        &mut self,
+        now: SimTime,
+        outdoor_c: f64,
+        job: Job,
+        rooms: &mut ThermalBatch,
+    ) -> Dispatch {
         let cost = self.switch_cost();
         // Pass 1: free capacity under the current budgets.
         let mut best: Option<(bool, usize, usize)> = None; // (flow match, free, idx)
@@ -168,7 +211,7 @@ impl ClusterSim {
                 continue;
             }
             let backlog = job.cores + self.workers[i].busy_cores();
-            self.workers[i].control_tick(now, outdoor_c, backlog);
+            self.tick_worker(i, now, outdoor_c, backlog, rooms);
             if let Some(width) = Self::moldable_width(&job, self.workers[i].free_cores()) {
                 let mut placed = job;
                 placed.cores = width;
@@ -250,12 +293,17 @@ impl ClusterSim {
     /// Dispatch queued work after capacity changed. Edge first (EDF),
     /// then DCC (FIFO with fit-skipping). Returns the started jobs as
     /// (worker, job, finish).
-    pub fn drain(&mut self, now: SimTime, outdoor_c: f64) -> Vec<(usize, Job, SimTime)> {
+    pub fn drain(
+        &mut self,
+        now: SimTime,
+        outdoor_c: f64,
+        rooms: &mut ThermalBatch,
+    ) -> Vec<(usize, Job, SimTime)> {
         let mut started = Vec::new();
         // Expired edge requests are dropped (recorded by the platform).
         // The platform calls `take_expired` separately to count them.
         while let Some(job) = self.edge_queue.peek().copied() {
-            match self.try_dispatch(now, outdoor_c, job) {
+            match self.try_dispatch(now, outdoor_c, job, rooms) {
                 Dispatch::Started { worker, finish } => {
                     self.edge_queue.pop();
                     started.push((worker, job, finish));
@@ -268,7 +316,7 @@ impl ClusterSim {
         // DCC job would fail too. Stop there (keeps drain O(started)
         // even with thousands queued).
         while let Some(job) = self.dcc_queue.pop() {
-            match self.try_dispatch(now, outdoor_c, job) {
+            match self.try_dispatch(now, outdoor_c, job, rooms) {
                 Dispatch::Started { worker, finish } => {
                     started.push((worker, job, finish));
                 }
@@ -286,9 +334,22 @@ impl ClusterSim {
         self.edge_queue.drop_expired(now)
     }
 
-    /// Run the control loop on every worker. Returns (mean room temp,
-    /// usable cores, mean demand).
-    pub fn control_tick(&mut self, now: SimTime, outdoor_c: f64) -> (f64, usize, f64) {
+    /// Stage every worker's pending thermal step (elapsed interval +
+    /// current heat output) into the fleet batch. The platform stages
+    /// *all* clusters, sweeps the batch once, then calls
+    /// [`ClusterSim::finish_control_tick`] — one tight loop over the
+    /// whole fleet instead of per-worker `exp` calls.
+    pub fn stage_thermal(&self, now: SimTime, rooms: &mut ThermalBatch) {
+        for (i, w) in self.workers.iter().enumerate() {
+            let dt = now.saturating_since(w.last_tick());
+            rooms.stage(self.room_base + i, dt, w.heat_w());
+        }
+    }
+
+    /// Complete the control loop on every worker after the fleet sweep:
+    /// energy accounting, thermostat reads, regulator decisions.
+    /// Returns (mean room temp, usable cores, mean demand).
+    pub fn finish_control_tick(&mut self, now: SimTime, rooms: &ThermalBatch) -> (f64, usize, f64) {
         let queued_cores: usize = self
             .edge_queue
             .iter()
@@ -298,11 +359,12 @@ impl ClusterSim {
         let n = self.workers.len();
         let mut temp_sum = 0.0;
         let mut demand_sum = 0.0;
-        for w in &mut self.workers {
+        for (i, w) in self.workers.iter_mut().enumerate() {
             // Every worker sees the shared backlog (it may be assigned
             // any queued job next drain).
-            let d = w.control_tick(now, outdoor_c, queued_cores + w.busy_cores());
-            temp_sum += w.room.temperature_c();
+            let room_c = rooms.temperature_c(self.room_base + i);
+            let d = w.complete_tick(now, room_c, queued_cores + w.busy_cores());
+            temp_sum += room_c;
             demand_sum += d;
         }
         (
@@ -310,6 +372,19 @@ impl ClusterSim {
             self.usable_cores(),
             demand_sum / n as f64,
         )
+    }
+
+    /// Run the full control loop on this cluster alone: stage, sweep,
+    /// complete. Returns (mean room temp, usable cores, mean demand).
+    pub fn control_tick(
+        &mut self,
+        now: SimTime,
+        outdoor_c: f64,
+        rooms: &mut ThermalBatch,
+    ) -> (f64, usize, f64) {
+        self.stage_thermal(now, rooms);
+        rooms.step_staged(outdoor_c);
+        self.finish_control_tick(now, rooms)
     }
 
     /// Remove a finished job from `worker`.
@@ -363,14 +438,15 @@ mod tests {
 
     /// Chill every room so thermostats demand full heat: dispatching
     /// then goes through the wake path with a full power budget.
-    fn chill(c: &mut ClusterSim) {
+    fn chill(c: &mut ClusterSim, rooms: &mut ThermalBatch) {
         for w in 0..c.n_workers() {
-            c.worker_mut(w).room = Room::new(RoomParams::typical_apartment_room(), 10.0);
+            rooms.set_temperature_c(c.room_slot(w), 10.0);
         }
-        c.control_tick(SimTime::ZERO, 0.0);
+        c.control_tick(SimTime::ZERO, 0.0, rooms);
     }
 
-    fn cluster_a() -> ClusterSim {
+    fn cluster_a() -> (ClusterSim, ThermalBatch) {
+        let mut rooms = ThermalBatch::new();
         let mut c = ClusterSim::new(
             0,
             4,
@@ -378,12 +454,14 @@ mod tests {
                 switch_cost: SimDuration::from_secs(2),
             },
             20.0,
+            &mut rooms,
         );
-        chill(&mut c);
-        c
+        chill(&mut c, &mut rooms);
+        (c, rooms)
     }
 
-    fn cluster_b() -> ClusterSim {
+    fn cluster_b() -> (ClusterSim, ThermalBatch) {
+        let mut rooms = ThermalBatch::new();
         let mut c = ClusterSim::new(
             0,
             4,
@@ -392,15 +470,16 @@ mod tests {
                 vpn_overhead: SimDuration::from_micros(400),
             },
             20.0,
+            &mut rooms,
         );
-        chill(&mut c);
-        c
+        chill(&mut c, &mut rooms);
+        (c, rooms)
     }
 
     #[test]
     fn dispatch_lands_on_a_worker() {
-        let mut c = cluster_a();
-        match c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 4, 120.0)) {
+        let (mut c, mut rooms) = cluster_a();
+        match c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 4, 120.0), &mut rooms) {
             Dispatch::Started { finish, .. } => {
                 assert_eq!(finish, SimTime::from_secs(10));
             }
@@ -411,42 +490,45 @@ mod tests {
 
     #[test]
     fn arch_b_partitions_workers() {
-        let mut c = cluster_b();
+        let (mut c, mut rooms) = cluster_b();
         // Edge jobs only fit the single dedicated worker (16 cores).
-        match c.try_dispatch(SimTime::ZERO, 0.0, edge(1, 16)) {
+        match c.try_dispatch(SimTime::ZERO, 0.0, edge(1, 16), &mut rooms) {
             Dispatch::Started { worker, .. } => assert_eq!(worker, 0),
             Dispatch::Full => panic!("edge worker free"),
         }
         // A second edge job finds the edge worker full → Full even though
         // 3 DCC workers are idle.
         assert_eq!(
-            c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 1)),
+            c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 1), &mut rooms),
             Dispatch::Full
         );
         // DCC jobs cannot use the dedicated edge worker.
         for i in 0..3 {
-            match c.try_dispatch(SimTime::ZERO, 0.0, dcc(10 + i, 16, 100.0)) {
+            match c.try_dispatch(SimTime::ZERO, 0.0, dcc(10 + i, 16, 100.0), &mut rooms) {
                 Dispatch::Started { worker, .. } => assert!(worker >= 1),
                 Dispatch::Full => panic!("DCC workers free"),
             }
         }
         assert_eq!(
-            c.try_dispatch(SimTime::ZERO, 0.0, dcc(20, 1, 10.0)),
+            c.try_dispatch(SimTime::ZERO, 0.0, dcc(20, 1, 10.0), &mut rooms),
             Dispatch::Full
         );
     }
 
     #[test]
     fn full_cluster_reports_full_and_preempts() {
-        let mut c = cluster_a();
+        let (mut c, mut rooms) = cluster_a();
         for i in 0..4 {
             assert!(matches!(
-                c.try_dispatch(SimTime::ZERO, 0.0, dcc(i, 16, 1e5)),
+                c.try_dispatch(SimTime::ZERO, 0.0, dcc(i, 16, 1e5), &mut rooms),
                 Dispatch::Started { .. }
             ));
         }
         let e = edge(100, 4);
-        assert_eq!(c.try_dispatch(SimTime::ZERO, 0.0, e), Dispatch::Full);
+        assert_eq!(
+            c.try_dispatch(SimTime::ZERO, 0.0, e, &mut rooms),
+            Dispatch::Full
+        );
         let (worker, victims) = c
             .preempt_for(SimTime::from_secs(10), &e)
             .expect("preemptible DCC work exists");
@@ -460,18 +542,18 @@ mod tests {
 
     #[test]
     fn queues_drain_in_priority_order() {
-        let mut c = cluster_a();
+        let (mut c, mut rooms) = cluster_a();
         // Fill the cluster.
         for i in 0..4 {
-            c.try_dispatch(SimTime::ZERO, 0.0, dcc(i, 16, 480.0)); // finish at t=10
+            c.try_dispatch(SimTime::ZERO, 0.0, dcc(i, 16, 480.0), &mut rooms); // finish at t=10
         }
         c.edge_queue.push(edge(50, 4));
         c.dcc_queue.push(dcc(51, 4, 100.0));
         // Nothing drains while full.
-        assert!(c.drain(SimTime::from_secs(5), 0.0).is_empty());
+        assert!(c.drain(SimTime::from_secs(5), 0.0, &mut rooms).is_empty());
         // Finish one worker's job → drain starts edge first, then DCC.
         c.finish(0, JobId(0));
-        let started = c.drain(SimTime::from_secs(10), 0.0);
+        let started = c.drain(SimTime::from_secs(10), 0.0, &mut rooms);
         assert_eq!(started.len(), 2);
         assert_eq!(started[0].1.id, JobId(50), "edge first");
         assert_eq!(started[1].1.id, JobId(51));
@@ -479,7 +561,7 @@ mod tests {
 
     #[test]
     fn expired_edge_jobs_are_dropped() {
-        let mut c = cluster_a();
+        let (mut c, _rooms) = cluster_a();
         c.edge_queue.push(edge(1, 4)); // 30 s deadline from t=0
         let expired = c.take_expired(SimTime::from_secs(31));
         assert_eq!(expired.len(), 1);
@@ -490,27 +572,27 @@ mod tests {
     fn warm_rooms_shrink_capacity() {
         // Capacity is heat-driven (§III-C): with a backlog queued, cold
         // rooms budget many cores; warm rooms budget none.
-        let mut c = cluster_a();
+        let (mut c, mut rooms) = cluster_a();
         for i in 0..4 {
             c.dcc_queue.push(dcc(100 + i, 16, 1e6));
         }
-        c.control_tick(SimTime::ZERO, 0.0);
+        c.control_tick(SimTime::ZERO, 0.0, &mut rooms);
         let cold_cores = c.usable_cores();
         assert!(cold_cores >= 48, "cold cluster budget {cold_cores}");
         // Warm every room far above the setpoint.
         for w in 0..c.n_workers() {
-            c.worker_mut(w).room = Room::new(RoomParams::typical_apartment_room(), 26.0);
+            rooms.set_temperature_c(c.room_slot(w), 26.0);
         }
-        c.control_tick(SimTime::from_secs(600), 20.0);
+        c.control_tick(SimTime::from_secs(600), 20.0, &mut rooms);
         let warm_cores = c.usable_cores();
         assert_eq!(warm_cores, 0, "no heat demand, no capacity");
     }
 
     #[test]
     fn load_snapshot_is_consistent() {
-        let mut c = cluster_a();
-        c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 8, 100.0));
-        c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 2));
+        let (mut c, mut rooms) = cluster_a();
+        c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 8, 100.0), &mut rooms);
+        c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 2), &mut rooms);
         let l = c.load();
         assert_eq!(l.total_cores, 64);
         assert_eq!(l.busy_cores, 10);

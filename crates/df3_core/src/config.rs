@@ -66,6 +66,12 @@ pub struct PlatformConfig {
     /// Repair turnaround once a server fails (a technician visits the
     /// building — distributed maintenance is slower than a DC swap).
     pub worker_repair_time: SimDuration,
+    /// Route every room step through the scalar `Room::step` reference
+    /// implementation instead of the batched SoA kernel. Bit-identical
+    /// results either way (the A/B tests assert it); the scalar path
+    /// exists so the fast path cannot silently diverge. Defaults to the
+    /// `scalar-thermal` cargo feature so CI can flip the whole suite.
+    pub scalar_thermal: bool,
 }
 
 impl PlatformConfig {
@@ -90,6 +96,21 @@ impl PlatformConfig {
             roc_fallback_direct: false,
             worker_mtbf: None,
             worker_repair_time: SimDuration::from_days(3),
+            scalar_thermal: cfg!(feature = "scalar-thermal"),
+        }
+    }
+
+    /// A district-scale winter deployment (§III's "thousands of
+    /// data-furnace servers heating whole neighbourhoods"): 100
+    /// buildings of 10 Q.rads each — 1,000 rooms — driven by the
+    /// batched thermal kernel. Same control period and calendar as
+    /// [`PlatformConfig::small_winter`] so results are comparable.
+    pub fn district_winter() -> Self {
+        PlatformConfig {
+            n_clusters: 100,
+            workers_per_cluster: 10,
+            datacenter_cores: 2048,
+            ..Self::small_winter()
         }
     }
 
@@ -156,6 +177,13 @@ mod tests {
     fn presets_validate() {
         assert!(PlatformConfig::small_winter().validate().is_ok());
         assert!(PlatformConfig::small_winter_arch_b(4).validate().is_ok());
+        assert!(PlatformConfig::district_winter().validate().is_ok());
+    }
+
+    #[test]
+    fn district_is_at_least_a_thousand_qrads() {
+        let c = PlatformConfig::district_winter();
+        assert!(c.n_clusters * c.workers_per_cluster >= 1_000);
     }
 
     #[test]

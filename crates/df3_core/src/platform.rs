@@ -25,7 +25,8 @@ use simcore::engine::{Engine, Model, Scheduler};
 use simcore::event::EventId;
 use simcore::time::{SimDuration, SimTime};
 use simcore::RngStreams;
-use thermal::weather::{Weather, WeatherConfig};
+use thermal::batch::ThermalBatch;
+use thermal::weather::{Weather, WeatherConfig, WeatherTable};
 use workloads::job::JobStream;
 use workloads::{Flow, Job, JobId};
 
@@ -91,7 +92,12 @@ impl RunningEvents {
 /// The assembled platform (a `simcore::Model`).
 pub struct Platform {
     config: PlatformConfig,
-    weather: Weather,
+    /// Tabulated weather trace: `outdoor_c` is two loads and a lerp.
+    weather: WeatherTable,
+    /// Every room in the fleet, in one SoA batch (cluster `c`, worker
+    /// `w` lives at slot `wslot(c, w)`), stepped in one sweep per
+    /// control tick.
+    rooms: ThermalBatch,
     clusters: Vec<ClusterSim>,
     datacenter: Option<Datacenter>,
     /// Finish-event handles of running local jobs, for preemption.
@@ -124,11 +130,14 @@ impl Platform {
             .validate()
             .unwrap_or_else(|e| panic!("bad config: {e}"));
         let streams = RngStreams::new(config.seed);
-        let weather = Weather::generate(
+        let weather = WeatherTable::tabulate(&Weather::generate(
             WeatherConfig::paris(config.calendar),
             config.horizon + SimDuration::DAY,
             &streams,
-        );
+        ));
+        let n_worker_slots = config.n_clusters * config.workers_per_cluster;
+        let mut rooms = ThermalBatch::with_capacity(n_worker_slots);
+        rooms.set_scalar_reference(config.scalar_thermal);
         let clusters = (0..config.n_clusters)
             .map(|i| {
                 ClusterSim::new(
@@ -136,15 +145,16 @@ impl Platform {
                     config.workers_per_cluster,
                     config.arch,
                     config.setpoint_c,
+                    &mut rooms,
                 )
             })
             .collect();
         let datacenter = (config.datacenter_cores > 0)
             .then(|| Datacenter::new(DatacenterConfig::standard(config.datacenter_cores)));
-        let n_worker_slots = config.n_clusters * config.workers_per_cluster;
         Platform {
             config,
             weather,
+            rooms,
             clusters,
             datacenter,
             running_events: RunningEvents::new(n_worker_slots),
@@ -372,7 +382,7 @@ impl Platform {
                 }
             }
             PeakAction::OffloadHorizontal { target } => {
-                match self.clusters[target].try_dispatch(now, outdoor, job) {
+                match self.clusters[target].try_dispatch(now, outdoor, job, &mut self.rooms) {
                     Dispatch::Started { worker, finish } => {
                         self.stats.offload_horizontal.inc();
                         self.start_local(
@@ -419,7 +429,7 @@ impl Platform {
             let _ = job;
             self.stats.edge_expired.inc();
         }
-        let started = self.clusters[cluster].drain(now, outdoor);
+        let started = self.clusters[cluster].drain(now, outdoor, &mut self.rooms);
         for (worker, job, finish) in started {
             self.start_local(
                 cluster,
@@ -434,9 +444,11 @@ impl Platform {
 
     fn finalise_energy(&mut self, end: SimTime) {
         // Close each worker's energy integral by a final control tick.
-        let outdoor = self.outdoor(end.min(SimTime::ZERO + self.weather.span()));
+        // The weather wraps past its span, so no clamp is needed even
+        // when the engine overruns the generated trace.
+        let outdoor = self.outdoor(end);
         for c in &mut self.clusters {
-            c.control_tick(end, outdoor);
+            c.control_tick(end, outdoor, &mut self.rooms);
         }
         self.stats.df_total_kwh = self.clusters.iter().map(|c| c.energy_kwh()).sum();
         self.stats.df_compute_kwh = self.clusters.iter().map(|c| c.compute_energy_kwh()).sum();
@@ -507,7 +519,7 @@ impl Model for PlatformModel {
                     return;
                 }
                 let outdoor = self.p.outdoor(now);
-                match self.p.clusters[home].try_dispatch(now, outdoor, job) {
+                match self.p.clusters[home].try_dispatch(now, outdoor, job, &mut self.p.rooms) {
                     Dispatch::Started { worker, finish } => {
                         self.p.start_local(
                             home,
@@ -580,8 +592,15 @@ impl Model for PlatformModel {
                 let mut usable = 0usize;
                 let mut demand = 0.0;
                 let n = self.p.clusters.len();
+                // Stage every worker's pending interval, then advance
+                // the entire fleet's thermals in ONE sweep over the SoA
+                // batch — the district-scale fast path.
+                for c in &self.p.clusters {
+                    c.stage_thermal(now, &mut self.p.rooms);
+                }
+                self.p.rooms.step_staged(outdoor);
                 for i in 0..n {
-                    let (t, u, d) = self.p.clusters[i].control_tick(now, outdoor);
+                    let (t, u, d) = self.p.clusters[i].finish_control_tick(now, &self.p.rooms);
                     temp += t;
                     usable += u;
                     demand += d;
@@ -738,5 +757,33 @@ mod tests {
         );
         assert!(out.stats.edge_attainment() > 0.8);
         let _ = JobStream::new(vec![]);
+    }
+
+    #[test]
+    fn batched_and_scalar_thermal_are_bit_identical() {
+        // The whole point of keeping `Room::step` alive behind
+        // `scalar_thermal`: the SoA fast path must not change a single
+        // bit of any platform-level statistic.
+        let jobs = edge_stream(6);
+        let mut cfg = tiny_config();
+        cfg.scalar_thermal = false;
+        let fast = Platform::new(cfg.clone()).run(&jobs);
+        cfg.scalar_thermal = true;
+        let slow = Platform::new(cfg).run(&jobs);
+
+        assert_eq!(fast.events, slow.events);
+        assert_eq!(fast.stats.df_total_kwh, slow.stats.df_total_kwh);
+        assert_eq!(fast.stats.df_compute_kwh, slow.stats.df_compute_kwh);
+        assert_eq!(
+            fast.stats.edge_response_ms.p99(),
+            slow.stats.edge_response_ms.p99()
+        );
+        let (a, b) = (
+            fast.stats.room_temp_c.summary(),
+            slow.stats.room_temp_c.summary(),
+        );
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.mean(), b.mean());
     }
 }

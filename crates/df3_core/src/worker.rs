@@ -1,11 +1,15 @@
 //! One DF worker: a server in a room, closing the heat loop.
 //!
-//! The worker owns its [`Room`], [`ModulatingThermostat`], and
-//! [`HeatRegulator`]. Every control tick the platform calls
-//! [`WorkerSim::control_tick`]: the room is advanced with the heat the
-//! server produced since the last tick, the thermostat reads the new
-//! temperature, and the regulator converts the demand into a compute
-//! budget for the next period.
+//! The worker owns its [`ModulatingThermostat`] and [`HeatRegulator`];
+//! its room lives as one slot of the platform's fleet-wide
+//! [`thermal::ThermalBatch`] (the district-scale SoA fast path). Every
+//! control tick the platform stages each worker's elapsed interval and
+//! heat output into the batch, sweeps all rooms in one loop, then calls
+//! [`WorkerSim::complete_tick`] with the new room temperature: energy
+//! accounting closes, the thermostat reads the temperature, and the
+//! regulator converts the demand into a compute budget for the next
+//! period. [`WorkerSim::control_tick`] bundles the same sequence around
+//! a standalone scalar [`Room`] for single-worker studies and tests.
 //!
 //! Jobs occupy cores at the P-state in force at dispatch and keep that
 //! speed until completion (a deliberate simplification: Qarnot's
@@ -41,7 +45,6 @@ pub struct WorkerSim {
     pub id: usize,
     ladder: Arc<DvfsLadder>,
     regulator: HeatRegulator,
-    pub room: Room,
     pub thermostat: ModulatingThermostat,
     /// Current regulator decision (budget for this control period).
     decision: RegulatorDecision,
@@ -71,7 +74,6 @@ impl WorkerSim {
         id: usize,
         ladder: Arc<DvfsLadder>,
         regulator: HeatRegulator,
-        room: Room,
         thermostat: ModulatingThermostat,
     ) -> Self {
         let decision = RegulatorDecision {
@@ -86,7 +88,6 @@ impl WorkerSim {
             id,
             ladder,
             regulator,
-            room,
             thermostat,
             decision,
             running: Vec::new(),
@@ -228,15 +229,22 @@ impl WorkerSim {
         job
     }
 
-    /// Run the control loop at `now`: integrate room thermals with the
-    /// heat produced over the elapsed period, read the thermostat, and
-    /// set the next period's regulator decision. Returns the demand.
-    pub fn control_tick(&mut self, now: SimTime, outdoor_c: f64, backlog_cores: usize) -> f64 {
+    /// Time of the last control tick — the thermal integration anchor.
+    /// The interval `[last_tick, now)` is what the platform stages into
+    /// the fleet batch before calling [`WorkerSim::complete_tick`].
+    pub fn last_tick(&self) -> SimTime {
+        self.last_tick
+    }
+
+    /// Finish the control loop at `now`, after this worker's room has
+    /// been advanced (in the fleet batch or a scalar [`Room`]) to
+    /// `room_c`: close the energy integrals over the elapsed period,
+    /// read the thermostat, and set the next period's regulator
+    /// decision. Returns the demand.
+    pub fn complete_tick(&mut self, now: SimTime, room_c: f64, backlog_cores: usize) -> f64 {
         let dt = now.saturating_since(self.last_tick);
-        let heat = self.heat_w();
         if dt > SimDuration::ZERO {
-            self.room.step(dt, outdoor_c, heat);
-            self.energy_j += heat * dt.as_secs_f64();
+            self.energy_j += self.heat_w() * dt.as_secs_f64();
             self.compute_energy_j += self.compute_power_w() * dt.as_secs_f64();
         }
         self.last_tick = now;
@@ -253,7 +261,7 @@ impl WorkerSim {
             };
             return 0.0;
         }
-        let demand = self.thermostat.demand(now, self.room.temperature_c());
+        let demand = self.thermostat.demand(now, room_c);
         self.potential_cores = self
             .regulator
             .decide(&self.ladder, demand, self.regulator.n_cores)
@@ -270,6 +278,25 @@ impl WorkerSim {
             ..decision
         };
         demand
+    }
+
+    /// Run the full control loop at `now` against a standalone scalar
+    /// `room`: integrate the room with the heat produced over the
+    /// elapsed period, then [`WorkerSim::complete_tick`]. This is the
+    /// reference single-worker path (experiments, tests); the platform
+    /// batches the room step fleet-wide instead.
+    pub fn control_tick(
+        &mut self,
+        now: SimTime,
+        outdoor_c: f64,
+        backlog_cores: usize,
+        room: &mut Room,
+    ) -> f64 {
+        let dt = now.saturating_since(self.last_tick);
+        if dt > SimDuration::ZERO {
+            room.step(dt, outdoor_c, self.heat_w());
+        }
+        self.complete_tick(now, room.temperature_c(), backlog_cores)
     }
 
     /// Heat-budgeted capacity at the last tick, cores (independent of
@@ -325,13 +352,15 @@ mod tests {
     use thermal::thermostat::SetpointSchedule;
     use workloads::{Flow, JobId};
 
-    fn worker() -> WorkerSim {
-        WorkerSim::new(
-            0,
-            Arc::new(DvfsLadder::desktop_i7()),
-            HeatRegulator::for_qrad(),
+    fn worker() -> (WorkerSim, Room) {
+        (
+            WorkerSim::new(
+                0,
+                Arc::new(DvfsLadder::desktop_i7()),
+                HeatRegulator::for_qrad(),
+                ModulatingThermostat::new(SetpointSchedule::constant(20.0), 1.5),
+            ),
             Room::new(RoomParams::typical_apartment_room(), 17.0),
-            ModulatingThermostat::new(SetpointSchedule::constant(20.0), 1.5),
         )
     }
 
@@ -351,8 +380,8 @@ mod tests {
 
     #[test]
     fn dispatch_occupies_cores_until_finish() {
-        let mut w = worker();
-        w.control_tick(SimTime::ZERO, 5.0, 100);
+        let (mut w, mut room) = worker();
+        w.control_tick(SimTime::ZERO, 5.0, 100, &mut room);
         let finish = w
             .dispatch(SimTime::ZERO, job(1, 4, 480.0, false), SimDuration::ZERO)
             .expect("cold room → full budget");
@@ -366,8 +395,8 @@ mod tests {
 
     #[test]
     fn dispatch_fails_when_budget_exhausted() {
-        let mut w = worker();
-        w.control_tick(SimTime::ZERO, 5.0, 100);
+        let (mut w, mut room) = worker();
+        w.control_tick(SimTime::ZERO, 5.0, 100, &mut room);
         assert!(w
             .dispatch(SimTime::ZERO, job(1, 12, 100.0, false), SimDuration::ZERO)
             .is_some());
@@ -381,10 +410,10 @@ mod tests {
 
     #[test]
     fn warm_room_throttles_capacity() {
-        let mut w = worker();
+        let (mut w, _) = worker();
         // Make the room warm: no demand.
-        w.room = Room::new(RoomParams::typical_apartment_room(), 24.0);
-        w.control_tick(SimTime::ZERO, 15.0, 100);
+        let mut room = Room::new(RoomParams::typical_apartment_room(), 24.0);
+        w.control_tick(SimTime::ZERO, 15.0, 100, &mut room);
         assert!(!w.decision().powered, "no heat demand → board off");
         assert!(w
             .dispatch(SimTime::ZERO, job(1, 1, 10.0, false), SimDuration::ZERO)
@@ -393,8 +422,8 @@ mod tests {
 
     #[test]
     fn cold_room_creates_capacity_and_heat() {
-        let mut w = worker();
-        let demand = w.control_tick(SimTime::ZERO, 0.0, 100);
+        let (mut w, mut room) = worker();
+        let demand = w.control_tick(SimTime::ZERO, 0.0, 100, &mut room);
         assert!(demand > 0.9, "17 °C room, 20 °C target → high demand");
         assert!(w.decision().usable_cores >= 12);
         // With no running jobs the resistive element covers the demand.
@@ -403,8 +432,8 @@ mod tests {
 
     #[test]
     fn context_switch_cost_applies_on_flow_alternation() {
-        let mut w = worker();
-        w.control_tick(SimTime::ZERO, 0.0, 100);
+        let (mut w, mut room) = worker();
+        w.control_tick(SimTime::ZERO, 0.0, 100, &mut room);
         let cost = SimDuration::from_secs(2);
         let f1 = w
             .dispatch(SimTime::ZERO, job(1, 1, 3.0, false), cost)
@@ -422,8 +451,8 @@ mod tests {
 
     #[test]
     fn preemption_returns_remaining_work() {
-        let mut w = worker();
-        w.control_tick(SimTime::ZERO, 0.0, 100);
+        let (mut w, mut room) = worker();
+        w.control_tick(SimTime::ZERO, 0.0, 100, &mut room);
         w.dispatch(SimTime::ZERO, job(1, 2, 600.0, false), SimDuration::ZERO);
         // After 50 s at 2×3 Gops, 300 Gop done.
         let back = w.preempt(JobId(1), SimTime::from_secs(50));
@@ -437,15 +466,15 @@ mod tests {
 
     #[test]
     fn thermal_loop_warms_the_room_toward_setpoint() {
-        let mut w = worker();
+        let (mut w, mut room) = worker();
         let mut t = SimTime::ZERO;
         let dt = SimDuration::from_secs(600);
         for _ in 0..(6 * 48) {
             // Plenty of backlog: the server heats by computing.
-            w.control_tick(t, 5.0, 100);
+            w.control_tick(t, 5.0, 100, &mut room);
             t += dt;
         }
-        let temp = w.room.temperature_c();
+        let temp = room.temperature_c();
         assert!(
             (18.4..21.0).contains(&temp),
             "room should settle near 20 °C, got {temp}"
@@ -455,12 +484,12 @@ mod tests {
 
     #[test]
     fn running_jobs_keep_their_cores_across_throttling() {
-        let mut w = worker();
-        w.control_tick(SimTime::ZERO, 0.0, 100);
+        let (mut w, mut room) = worker();
+        w.control_tick(SimTime::ZERO, 0.0, 100, &mut room);
         w.dispatch(SimTime::ZERO, job(1, 8, 1e6, false), SimDuration::ZERO);
         // Room becomes warm: demand collapses, but the slice stays.
-        w.room = Room::new(RoomParams::typical_apartment_room(), 25.0);
-        w.control_tick(SimTime::from_secs(600), 15.0, 100);
+        room = Room::new(RoomParams::typical_apartment_room(), 25.0);
+        w.control_tick(SimTime::from_secs(600), 15.0, 100, &mut room);
         assert!(w.decision().powered, "powered while a job still runs");
         assert_eq!(w.busy_cores(), 8);
         assert!(w.decision().usable_cores >= 8);
@@ -470,6 +499,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn removing_absent_job_panics() {
-        worker().remove(JobId(99));
+        worker().0.remove(JobId(99));
     }
 }

@@ -1,0 +1,594 @@
+//! Structure-of-arrays batched room kernel — the district-scale fast path.
+//!
+//! [`super::room::Room`] integrates one 1R1C node exactly, but every
+//! `step` call pays an `exp(-Δ/(R·C))` even though the platform ticks
+//! thousands of rooms with the *same* Δ at every control period. A
+//! [`ThermalBatch`] keeps the whole fleet's thermal state in dense
+//! parallel `Vec<f64>` columns and caches the decay factor per room,
+//! keyed by the Δ it was computed for: on a fixed control tick the
+//! steady-state loop is a pure multiply–add sweep — no transcendentals,
+//! no per-room structs, no allocation.
+//!
+//! The arithmetic is *identical* to [`super::room::Room::step`] —
+//! `T ← T∞ + (T − T∞)·exp(−Δ/τ)` with `τ = R·C` and
+//! `T∞ = T_out + R·(P_h + P_g)` — and `exp` is deterministic, so cached
+//! and uncached steps agree **bit-for-bit**. The scalar reference mode
+//! ([`ThermalBatch::set_scalar_reference`]) literally materialises a
+//! `Room` and calls `Room::step` per room per step, which is what the
+//! platform A/B (`scalar-thermal` feature) and the property tests
+//! compare against.
+//!
+//! Rooms within one tick are independent given the outdoor temperature,
+//! so fleets at or above [`ThermalBatch::PAR_THRESHOLD`] rooms fan the
+//! sweep across cores with the vendored order-preserving `par_iter`
+//! (each chunk owns a disjoint slice of every column; results are
+//! written in place, so parallel and serial sweeps are bit-identical).
+
+use crate::room::{Room, RoomParams};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+
+/// Dense batched thermal state for a fleet of 1R1C rooms.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThermalBatch {
+    /// Current temperature, °C.
+    temp_c: Vec<f64>,
+    /// Thermal resistance to outdoors, K/W.
+    resistance: Vec<f64>,
+    /// Constant internal free gains, W.
+    gains_w: Vec<f64>,
+    /// Time constant R·C, seconds (recomputed only when params change).
+    tau_s: Vec<f64>,
+    /// Cached decay factor `exp(-decay_dt_s / tau_s)`.
+    decay: Vec<f64>,
+    /// The Δ (seconds) the cached decay was computed for; NaN = dirty.
+    decay_dt_s: Vec<f64>,
+    /// Staged per-room step interval, seconds (0 = no step pending).
+    dt_s: Vec<f64>,
+    /// Staged per-room heater power, W.
+    heater_w: Vec<f64>,
+    /// Reference mode: route every step through `Room::step` (exp each
+    /// time). Used by the `scalar-thermal` platform A/B.
+    scalar_reference: bool,
+}
+
+/// One chunk of the batch columns, for the parallel sweep. Every slice
+/// covers the same disjoint index range, so chunks are independent.
+struct Lane<'a> {
+    temp_c: &'a mut [f64],
+    decay: &'a mut [f64],
+    decay_dt_s: &'a mut [f64],
+    dt_s: &'a mut [f64],
+    resistance: &'a [f64],
+    gains_w: &'a [f64],
+    tau_s: &'a [f64],
+    heater_w: &'a [f64],
+}
+
+impl Lane<'_> {
+    /// The tight loop: mul-add only while Δ matches the cached decay.
+    fn sweep(&mut self, outdoor_c: f64) {
+        for i in 0..self.temp_c.len() {
+            let dt = self.dt_s[i];
+            if dt <= 0.0 {
+                continue;
+            }
+            self.dt_s[i] = 0.0;
+            if dt != self.decay_dt_s[i] {
+                self.decay[i] = (-dt / self.tau_s[i]).exp();
+                self.decay_dt_s[i] = dt;
+            }
+            let t_inf = outdoor_c + self.resistance[i] * (self.heater_w[i] + self.gains_w[i]);
+            self.temp_c[i] = t_inf + (self.temp_c[i] - t_inf) * self.decay[i];
+        }
+    }
+}
+
+impl ThermalBatch {
+    /// Fleet size at which the staged sweep fans across cores. Below
+    /// this the serial mul-add loop beats thread-scope overhead.
+    pub const PAR_THRESHOLD: usize = 16_384;
+    /// Rooms per parallel chunk.
+    const PAR_CHUNK: usize = 4_096;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        ThermalBatch {
+            temp_c: Vec::with_capacity(n),
+            resistance: Vec::with_capacity(n),
+            gains_w: Vec::with_capacity(n),
+            tau_s: Vec::with_capacity(n),
+            decay: Vec::with_capacity(n),
+            decay_dt_s: Vec::with_capacity(n),
+            dt_s: Vec::with_capacity(n),
+            heater_w: Vec::with_capacity(n),
+            scalar_reference: false,
+        }
+    }
+
+    /// Route every step through the scalar [`Room::step`] reference
+    /// implementation (recomputes `exp` per room per step).
+    pub fn set_scalar_reference(&mut self, scalar: bool) {
+        self.scalar_reference = scalar;
+    }
+
+    pub fn is_scalar_reference(&self) -> bool {
+        self.scalar_reference
+    }
+
+    /// Add a room; returns its dense index.
+    pub fn push(&mut self, params: RoomParams, initial_c: f64) -> usize {
+        assert!(params.resistance_k_per_w > 0.0);
+        assert!(params.capacitance_j_per_k > 0.0);
+        let i = self.temp_c.len();
+        self.temp_c.push(initial_c);
+        self.resistance.push(params.resistance_k_per_w);
+        self.gains_w.push(params.internal_gains_w);
+        self.tau_s
+            .push(params.resistance_k_per_w * params.capacitance_j_per_k);
+        self.decay.push(1.0);
+        self.decay_dt_s.push(f64::NAN);
+        self.dt_s.push(0.0);
+        self.heater_w.push(0.0);
+        i
+    }
+
+    pub fn len(&self) -> usize {
+        self.temp_c.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.temp_c.is_empty()
+    }
+
+    pub fn temperature_c(&self, i: usize) -> f64 {
+        self.temp_c[i]
+    }
+
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temp_c
+    }
+
+    /// Overwrite a room's temperature (tests, scenario setup).
+    pub fn set_temperature_c(&mut self, i: usize, c: f64) {
+        self.temp_c[i] = c;
+    }
+
+    pub fn params(&self, i: usize) -> RoomParams {
+        RoomParams {
+            resistance_k_per_w: self.resistance[i],
+            capacitance_j_per_k: self.tau_s[i] / self.resistance[i],
+            internal_gains_w: self.gains_w[i],
+        }
+    }
+
+    /// Replace a room's thermal parameters; invalidates its decay cache.
+    pub fn set_params(&mut self, i: usize, params: RoomParams) {
+        assert!(params.resistance_k_per_w > 0.0);
+        assert!(params.capacitance_j_per_k > 0.0);
+        self.resistance[i] = params.resistance_k_per_w;
+        self.gains_w[i] = params.internal_gains_w;
+        self.tau_s[i] = params.resistance_k_per_w * params.capacitance_j_per_k;
+        self.decay_dt_s[i] = f64::NAN;
+    }
+
+    /// Mean temperature across the fleet.
+    pub fn mean_temperature_c(&self) -> f64 {
+        assert!(!self.is_empty(), "batch has no rooms");
+        self.temp_c.iter().sum::<f64>() / self.temp_c.len() as f64
+    }
+
+    /// Stage a pending step for room `i`: advance it by `dt` with
+    /// heater power `heater_w` at the next [`ThermalBatch::step_staged`].
+    #[inline]
+    pub fn stage(&mut self, i: usize, dt: SimDuration, heater_w: f64) {
+        debug_assert!(!dt.is_negative());
+        assert!(heater_w >= 0.0, "heater power cannot be negative");
+        self.dt_s[i] = dt.as_secs_f64();
+        self.heater_w[i] = heater_w;
+    }
+
+    /// Step every staged room against a common outdoor temperature, in
+    /// one sweep over the dense columns. Rooms with no staged Δ are
+    /// untouched. Clears the staging buffers.
+    pub fn step_staged(&mut self, outdoor_c: f64) {
+        if self.scalar_reference {
+            for i in 0..self.temp_c.len() {
+                let dt = self.dt_s[i];
+                if dt <= 0.0 {
+                    continue;
+                }
+                self.dt_s[i] = 0.0;
+                self.temp_c[i] =
+                    self.step_room_scalar(i, SimDuration::from_secs_f64(dt), outdoor_c);
+            }
+            return;
+        }
+        if self.temp_c.len() >= Self::PAR_THRESHOLD {
+            let _: Vec<()> = self
+                .lanes()
+                .into_par_iter()
+                .map(|mut lane| lane.sweep(outdoor_c))
+                .collect();
+        } else {
+            let mut lane = Lane {
+                temp_c: &mut self.temp_c,
+                decay: &mut self.decay,
+                decay_dt_s: &mut self.decay_dt_s,
+                dt_s: &mut self.dt_s,
+                resistance: &self.resistance,
+                gains_w: &self.gains_w,
+                tau_s: &self.tau_s,
+                heater_w: &self.heater_w,
+            };
+            lane.sweep(outdoor_c);
+        }
+    }
+
+    /// Step a single room immediately (the off-cycle wake path). The
+    /// per-room decay cache still applies, so a worker woken twice with
+    /// the same Δ pays `exp` once. Returns the new temperature.
+    pub fn step_one(&mut self, i: usize, dt: SimDuration, outdoor_c: f64, heater_w: f64) -> f64 {
+        assert!(heater_w >= 0.0, "heater power cannot be negative");
+        assert!(!dt.is_negative());
+        let dt_s = dt.as_secs_f64();
+        if dt_s <= 0.0 {
+            return self.temp_c[i];
+        }
+        if self.scalar_reference {
+            self.temp_c[i] = self.step_room_scalar_with(i, dt, outdoor_c, heater_w);
+            return self.temp_c[i];
+        }
+        if dt_s != self.decay_dt_s[i] {
+            self.decay[i] = (-dt_s / self.tau_s[i]).exp();
+            self.decay_dt_s[i] = dt_s;
+        }
+        let t_inf = outdoor_c + self.resistance[i] * (heater_w + self.gains_w[i]);
+        self.temp_c[i] = t_inf + (self.temp_c[i] - t_inf) * self.decay[i];
+        self.temp_c[i]
+    }
+
+    /// Step *all* rooms by a uniform Δ with per-room heater powers —
+    /// the microbench/property-test entry point, and the tightest form
+    /// of the kernel: one fused pass, no staging-buffer traffic. The
+    /// arithmetic and decay cache are exactly those of the staged
+    /// sweep, so the two paths stay bit-identical.
+    pub fn step_uniform(&mut self, dt: SimDuration, outdoor_c: f64, powers: &[f64]) {
+        assert_eq!(powers.len(), self.len(), "power vector size mismatch");
+        assert!(!dt.is_negative());
+        if self.scalar_reference {
+            for (i, &p) in powers.iter().enumerate() {
+                self.stage(i, dt, p);
+            }
+            self.step_staged(outdoor_c);
+            return;
+        }
+        let dt_s = dt.as_secs_f64();
+        if dt_s <= 0.0 {
+            return;
+        }
+        for (i, &p) in powers.iter().enumerate() {
+            assert!(p >= 0.0, "heater power cannot be negative");
+            if dt_s != self.decay_dt_s[i] {
+                self.decay[i] = (-dt_s / self.tau_s[i]).exp();
+                self.decay_dt_s[i] = dt_s;
+            }
+            let t_inf = outdoor_c + self.resistance[i] * (p + self.gains_w[i]);
+            self.temp_c[i] = t_inf + (self.temp_c[i] - t_inf) * self.decay[i];
+        }
+    }
+
+    /// The scalar reference: build a `Room` and call `Room::step` with
+    /// the staged inputs.
+    fn step_room_scalar(&self, i: usize, dt: SimDuration, outdoor_c: f64) -> f64 {
+        self.step_room_scalar_with(i, dt, outdoor_c, self.heater_w[i])
+    }
+
+    fn step_room_scalar_with(
+        &self,
+        i: usize,
+        dt: SimDuration,
+        outdoor_c: f64,
+        heater_w: f64,
+    ) -> f64 {
+        let mut room = Room::new(self.params(i), self.temp_c[i]);
+        room.step(dt, outdoor_c, heater_w)
+    }
+
+    /// Split every column into aligned disjoint chunks for the parallel
+    /// sweep.
+    fn lanes(&mut self) -> Vec<Lane<'_>> {
+        let mut lanes = Vec::with_capacity(self.temp_c.len().div_ceil(Self::PAR_CHUNK));
+        let mut temp = self.temp_c.as_mut_slice();
+        let mut decay = self.decay.as_mut_slice();
+        let mut decay_dt = self.decay_dt_s.as_mut_slice();
+        let mut dt = self.dt_s.as_mut_slice();
+        let mut res = self.resistance.as_slice();
+        let mut gains = self.gains_w.as_slice();
+        let mut tau = self.tau_s.as_slice();
+        let mut heat = self.heater_w.as_slice();
+        while !temp.is_empty() {
+            let n = temp.len().min(Self::PAR_CHUNK);
+            let (t, t_rest) = temp.split_at_mut(n);
+            let (d, d_rest) = decay.split_at_mut(n);
+            let (dd, dd_rest) = decay_dt.split_at_mut(n);
+            let (s, s_rest) = dt.split_at_mut(n);
+            let (r, r_rest) = res.split_at(n);
+            let (g, g_rest) = gains.split_at(n);
+            let (ta, ta_rest) = tau.split_at(n);
+            let (h, h_rest) = heat.split_at(n);
+            lanes.push(Lane {
+                temp_c: t,
+                decay: d,
+                decay_dt_s: dd,
+                dt_s: s,
+                resistance: r,
+                gains_w: g,
+                tau_s: ta,
+                heater_w: h,
+            });
+            temp = t_rest;
+            decay = d_rest;
+            decay_dt = dd_rest;
+            dt = s_rest;
+            res = r_rest;
+            gains = g_rest;
+            tau = ta_rest;
+            heat = h_rest;
+        }
+        lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params(r: f64, c: f64, gains: f64) -> RoomParams {
+        RoomParams {
+            resistance_k_per_w: r,
+            capacitance_j_per_k: c,
+            internal_gains_w: gains,
+        }
+    }
+
+    #[test]
+    fn batch_step_matches_room_step_bitwise() {
+        let p = RoomParams::typical_apartment_room();
+        let mut batch = ThermalBatch::new();
+        let i = batch.push(p, 17.0);
+        let mut room = Room::new(p, 17.0);
+        let dt = SimDuration::from_secs(600);
+        for k in 0..500 {
+            let power = (k % 7) as f64 * 70.0;
+            let outdoor = 5.0 + (k % 11) as f64;
+            room.step(dt, outdoor, power);
+            batch.step_one(i, dt, outdoor, power);
+            assert_eq!(
+                batch.temperature_c(i).to_bits(),
+                room.temperature_c().to_bits(),
+                "diverged at step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_sweep_matches_per_room_steps() {
+        let mut a = ThermalBatch::new();
+        let mut b = ThermalBatch::new();
+        for i in 0..64 {
+            let p = params(0.01 + i as f64 * 0.001, 1e6 + i as f64 * 1e4, 60.0);
+            a.push(p, 14.0 + i as f64 * 0.1);
+            b.push(p, 14.0 + i as f64 * 0.1);
+        }
+        let dt = SimDuration::from_secs(600);
+        for k in 0..50 {
+            let outdoor = -3.0 + k as f64 * 0.2;
+            for i in 0..64 {
+                let power = (i * k % 500) as f64;
+                a.stage(i, dt, power);
+                b.step_one(i, dt, outdoor, power);
+            }
+            a.step_staged(outdoor);
+        }
+        for i in 0..64 {
+            assert_eq!(a.temperature_c(i).to_bits(), b.temperature_c(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // Above PAR_THRESHOLD the sweep fans across cores; rooms are
+        // independent, so the result must be bit-identical to stepping
+        // each room alone.
+        let n = ThermalBatch::PAR_THRESHOLD + 1_000;
+        let mut par = ThermalBatch::with_capacity(n);
+        let mut one = ThermalBatch::with_capacity(n);
+        for i in 0..n {
+            let p = params(0.01 + (i % 50) as f64 * 1e-3, 1e6, (i % 3) as f64 * 40.0);
+            let t0 = 12.0 + (i % 90) as f64 * 0.1;
+            par.push(p, t0);
+            one.push(p, t0);
+        }
+        let dt = SimDuration::from_secs(600);
+        for k in 0..3 {
+            let outdoor = 2.0 + k as f64;
+            for i in 0..n {
+                let power = ((i + k) % 500) as f64;
+                par.stage(i, dt, power);
+                one.step_one(i, dt, outdoor, power);
+            }
+            par.step_staged(outdoor);
+        }
+        for i in 0..n {
+            assert_eq!(
+                par.temperature_c(i).to_bits(),
+                one.temperature_c(i).to_bits(),
+                "room {i} diverged under the parallel sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_reference_mode_matches_batched() {
+        let mut fast = ThermalBatch::new();
+        let mut refr = ThermalBatch::new();
+        refr.set_scalar_reference(true);
+        for i in 0..32 {
+            let p = params(0.02 + i as f64 * 0.002, 2e6, 50.0);
+            fast.push(p, 16.0);
+            refr.push(p, 16.0);
+        }
+        let powers: Vec<f64> = (0..32).map(|i| (i * 37 % 500) as f64).collect();
+        for k in 0..200 {
+            // Alternate Δ to force cache invalidation on the fast path.
+            let dt = SimDuration::from_secs(if k % 3 == 0 { 300 } else { 600 });
+            fast.step_uniform(dt, 4.0, &powers);
+            refr.step_uniform(dt, 4.0, &powers);
+        }
+        for i in 0..32 {
+            assert_eq!(
+                fast.temperature_c(i).to_bits(),
+                refr.temperature_c(i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn set_params_invalidates_decay_cache() {
+        let mut batch = ThermalBatch::new();
+        let i = batch.push(RoomParams::typical_apartment_room(), 18.0);
+        let dt = SimDuration::from_secs(600);
+        batch.step_one(i, dt, 5.0, 200.0);
+        // Same Δ, new params: the cached decay must not be reused.
+        batch.set_params(i, RoomParams::leaky_room());
+        let mut room = Room::new(RoomParams::leaky_room(), batch.temperature_c(i));
+        room.step(dt, 5.0, 200.0);
+        batch.step_one(i, dt, 5.0, 200.0);
+        assert_eq!(
+            batch.temperature_c(i).to_bits(),
+            room.temperature_c().to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut batch = ThermalBatch::new();
+        let i = batch.push(RoomParams::typical_apartment_room(), 17.3);
+        batch.step_one(i, SimDuration::ZERO, -10.0, 1000.0);
+        assert_eq!(batch.temperature_c(i), 17.3);
+        batch.stage(i, SimDuration::ZERO, 1000.0);
+        batch.step_staged(-10.0);
+        assert_eq!(batch.temperature_c(i), 17.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_heater_power_panics() {
+        let mut batch = ThermalBatch::new();
+        let i = batch.push(RoomParams::typical_apartment_room(), 17.0);
+        batch.step_one(i, SimDuration::HOUR, 5.0, -1.0);
+    }
+
+    proptest! {
+        /// Batched kernel ≡ scalar `Room::step` over randomized R, C,
+        /// gains, outdoor, heater power, and step count — bit-identical.
+        #[test]
+        fn prop_batch_equals_scalar_room(
+            r in 0.005f64..0.08,
+            c in 5e5f64..5e6,
+            gains in 0.0f64..200.0,
+            start in -5.0f64..35.0,
+            outdoor in -20.0f64..35.0,
+            powers in proptest::collection::vec(0.0f64..1500.0, 1..40),
+            dt_secs in 1.0f64..86_400.0,
+        ) {
+            let p = params(r, c, gains);
+            let mut batch = ThermalBatch::new();
+            let i = batch.push(p, start);
+            let mut room = Room::new(p, start);
+            let dt = SimDuration::from_secs_f64(dt_secs);
+            for &power in &powers {
+                room.step(dt, outdoor, power);
+                batch.step_one(i, dt, outdoor, power);
+                prop_assert_eq!(
+                    batch.temperature_c(i).to_bits(),
+                    room.temperature_c().to_bits()
+                );
+            }
+        }
+
+        /// The decay cache must invalidate when Δ changes mid-run: steps
+        /// alternate between two intervals and must still match the
+        /// scalar reference exactly.
+        #[test]
+        fn prop_decay_cache_survives_dt_changes(
+            r in 0.005f64..0.08,
+            c in 5e5f64..5e6,
+            start in 0.0f64..30.0,
+            outdoor in -15.0f64..30.0,
+            dt_a in 1.0f64..7_200.0,
+            dt_b in 1.0f64..7_200.0,
+            flips in proptest::collection::vec(0u32..2, 2..30),
+        ) {
+            let p = params(r, c, 60.0);
+            let mut batch = ThermalBatch::new();
+            let i = batch.push(p, start);
+            let mut room = Room::new(p, start);
+            for (k, &flip) in flips.iter().enumerate() {
+                let dt = SimDuration::from_secs_f64(if flip == 0 { dt_a } else { dt_b });
+                let power = (k % 4) as f64 * 125.0;
+                room.step(dt, outdoor, power);
+                batch.step_one(i, dt, outdoor, power);
+                prop_assert_eq!(
+                    batch.temperature_c(i).to_bits(),
+                    room.temperature_c().to_bits()
+                );
+            }
+        }
+
+        /// Staged sweeps with heterogeneous per-room Δ match per-room
+        /// scalar stepping (the mixed wake-path + control-tick case).
+        #[test]
+        fn prop_staged_sweep_with_mixed_dt(
+            n in 1usize..50,
+            outdoor in -15.0f64..30.0,
+            dt_base in 60.0f64..3_600.0,
+        ) {
+            let mut batch = ThermalBatch::new();
+            let mut rooms = Vec::new();
+            for i in 0..n {
+                let p = params(0.01 + (i % 9) as f64 * 0.005, 1e6 + (i % 5) as f64 * 3e5, 60.0);
+                let t0 = 13.0 + i as f64 * 0.3;
+                batch.push(p, t0);
+                rooms.push(Room::new(p, t0));
+            }
+            for round in 0..4u64 {
+                for (i, room) in rooms.iter_mut().enumerate() {
+                    // Some rooms skip a round (dt accumulates), like
+                    // workers woken off-cycle.
+                    if (i as u64 + round).is_multiple_of(3) && round != 3 {
+                        continue;
+                    }
+                    let mult = 1 + (i as u64 + round) % 3;
+                    let dt = SimDuration::from_secs_f64(dt_base * mult as f64);
+                    let power = ((i as u64 * 97 + round * 31) % 500) as f64;
+                    batch.stage(i, dt, power);
+                    room.step(dt, outdoor, power);
+                }
+                batch.step_staged(outdoor);
+            }
+            for (i, room) in rooms.iter().enumerate() {
+                prop_assert_eq!(
+                    batch.temperature_c(i).to_bits(),
+                    room.temperature_c().to_bits()
+                );
+            }
+        }
+    }
+}

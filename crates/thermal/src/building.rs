@@ -36,6 +36,10 @@ pub struct Building {
     rooms: Vec<Room>,
     /// Maximum heater power available in each room, W.
     heater_max_w: Vec<f64>,
+    /// Reusable power buffer for [`Building::control_step`] — control
+    /// ticks must not allocate.
+    #[serde(skip)]
+    scratch_powers: Vec<f64>,
 }
 
 impl Building {
@@ -43,6 +47,7 @@ impl Building {
         Building {
             rooms: Vec::new(),
             heater_max_w: Vec::new(),
+            scratch_powers: Vec::new(),
         }
     }
 
@@ -93,56 +98,89 @@ impl Building {
     /// over rooms by their individual deficits (coldest-first weighting),
     /// each clamped to its heater capacity.
     pub fn collaborative_powers(&self, target: CollaborativeTarget) -> Vec<f64> {
+        let mut powers = Vec::new();
+        self.collaborative_powers_into(target, &mut powers);
+        powers
+    }
+
+    /// Allocation-free core of [`Building::collaborative_powers`]:
+    /// writes into a caller-supplied buffer (cleared and resized in
+    /// place — no allocation once the buffer has reached room count).
+    /// Per-room deficits and headroom are recomputed inline rather than
+    /// materialised, so the only storage is the output itself.
+    pub fn collaborative_powers_into(&self, target: CollaborativeTarget, powers: &mut Vec<f64>) {
         assert!(!self.rooms.is_empty());
+        let n = self.rooms.len();
+        powers.clear();
+        powers.resize(n, 0.0);
         let mean = self.mean_temperature_c();
         let overall = ((target.mean_c - mean) / target.full_demand_gap_k).clamp(0.0, 1.0);
         if overall == 0.0 {
-            return vec![0.0; self.rooms.len()];
+            return;
         }
-        // Per-room weight: the room's own deficit (floored at a small
-        // epsilon so equal rooms share equally).
-        let deficits: Vec<f64> = self
-            .rooms
-            .iter()
-            .map(|r| (target.mean_c - r.temperature_c()).max(0.0))
-            .collect();
-        let total_deficit: f64 = deficits.iter().sum();
+        // Per-room weight: the room's own deficit (zero-floored so
+        // already-warm rooms claim nothing).
+        let deficit = |r: &Room| (target.mean_c - r.temperature_c()).max(0.0);
+        let total_deficit: f64 = self.rooms.iter().map(deficit).sum();
         let total_capacity: f64 = self.heater_max_w.iter().sum();
         let total_power = overall * total_capacity;
         if total_deficit <= f64::EPSILON {
             // Mean is below target but no individual room is: spread evenly.
-            return self
-                .heater_max_w
-                .iter()
-                .map(|&cap| (total_power / self.rooms.len() as f64).min(cap))
-                .collect();
+            for (p, &cap) in powers.iter_mut().zip(&self.heater_max_w) {
+                *p = (total_power / n as f64).min(cap);
+            }
+            return;
         }
         // First pass: proportional share; clamp and redistribute once
         // (single redistribution is enough for the accuracy we need —
         // leftover capacity goes to still-unclamped rooms pro rata).
-        let mut powers: Vec<f64> = deficits
-            .iter()
-            .zip(&self.heater_max_w)
-            .map(|(&d, &cap)| (total_power * d / total_deficit).min(cap))
-            .collect();
+        for ((p, room), &cap) in powers.iter_mut().zip(&self.rooms).zip(&self.heater_max_w) {
+            *p = (total_power * deficit(room) / total_deficit).min(cap);
+        }
         let assigned: f64 = powers.iter().sum();
         let leftover = total_power - assigned;
         if leftover > 1.0 {
             // Redistribute only to rooms that are themselves below the
             // target — never push heat into an already-warm room.
-            let headroom: Vec<f64> = powers
+            let headroom = |p: f64, room: &Room, cap: f64| {
+                if deficit(room) > 0.0 {
+                    cap - p
+                } else {
+                    0.0
+                }
+            };
+            let total_headroom: f64 = powers
                 .iter()
-                .zip(self.heater_max_w.iter().zip(&deficits))
-                .map(|(&p, (&cap, &d))| if d > 0.0 { cap - p } else { 0.0 })
-                .collect();
-            let total_headroom: f64 = headroom.iter().sum();
+                .zip(self.rooms.iter().zip(&self.heater_max_w))
+                .map(|(&p, (room, &cap))| headroom(p, room, cap))
+                .sum();
             if total_headroom > 0.0 {
-                for (p, h) in powers.iter_mut().zip(&headroom) {
-                    *p += leftover.min(total_headroom) * h / total_headroom;
+                for (p, (room, &cap)) in powers
+                    .iter_mut()
+                    .zip(self.rooms.iter().zip(&self.heater_max_w))
+                {
+                    *p += leftover.min(total_headroom) * headroom(*p, room, cap) / total_headroom;
                 }
             }
         }
-        powers
+    }
+
+    /// One full collaborative control tick — compute the power split and
+    /// advance every room — reusing the building's own scratch buffer,
+    /// so steady-state ticks perform **zero** heap allocations. Returns
+    /// the total heat delivered, W.
+    pub fn control_step(
+        &mut self,
+        dt: SimDuration,
+        outdoor_c: f64,
+        target: CollaborativeTarget,
+    ) -> f64 {
+        let mut powers = std::mem::take(&mut self.scratch_powers);
+        self.collaborative_powers_into(target, &mut powers);
+        self.step(dt, outdoor_c, &powers);
+        let total = Self::total_power_w(&powers);
+        self.scratch_powers = powers;
+        total
     }
 
     /// Advance every room by `dt` with the given per-room heater powers.
@@ -252,6 +290,32 @@ mod tests {
         let powers = b.collaborative_powers(CollaborativeTarget::new(20.0));
         assert_eq!(powers[0], 0.0, "warm room must not heat");
         assert!(powers[1] > 0.0);
+    }
+
+    #[test]
+    fn control_step_matches_manual_loop() {
+        // The zero-alloc control_step must be bit-identical to the
+        // allocating collaborative_powers + step sequence.
+        let mut fast = building();
+        let mut slow = building();
+        let target = CollaborativeTarget::new(20.0);
+        let dt = SimDuration::MINUTE * 10;
+        for k in 0..500 {
+            let outdoor = -2.0 + (k % 13) as f64;
+            let delivered = fast.control_step(dt, outdoor, target);
+            let powers = slow.collaborative_powers(target);
+            slow.step(dt, outdoor, &powers);
+            assert_eq!(
+                delivered.to_bits(),
+                Building::total_power_w(&powers).to_bits()
+            );
+            for i in 0..slow.n_rooms() {
+                assert_eq!(
+                    fast.room(i).temperature_c().to_bits(),
+                    slow.room(i).temperature_c().to_bits()
+                );
+            }
+        }
     }
 
     #[test]

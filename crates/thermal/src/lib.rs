@@ -12,6 +12,9 @@
 //!   parameterised to a Paris-like climate (Qarnot's deployments).
 //! - [`room`]: a lumped-capacitance (1R1C) room model with exact
 //!   exponential integration — accurate at any step size.
+//! - [`batch`]: the district-scale fast path — a structure-of-arrays
+//!   kernel stepping every room in the fleet in one cached-decay sweep,
+//!   bit-identical to [`room::Room::step`].
 //! - [`thermostat`]: hysteresis and modulating thermostats with day /
 //!   night setback schedules; these emit the paper's *heating request*
 //!   flow.
@@ -24,6 +27,7 @@
 //! - [`demand`]: heat-demand synthesis linking weather to aggregate
 //!   demand (thermosensitivity), consumed by the `predict` crate.
 
+pub mod batch;
 pub mod building;
 pub mod comfort;
 pub mod demand;
@@ -33,8 +37,9 @@ pub mod thermostat;
 pub mod uhi;
 pub mod weather;
 
+pub use batch::ThermalBatch;
 pub use building::{Building, CollaborativeTarget};
 pub use comfort::ComfortStats;
 pub use room::{Room, RoomParams};
 pub use thermostat::{HysteresisThermostat, ModulatingThermostat, SetpointSchedule};
-pub use weather::{Weather, WeatherConfig};
+pub use weather::{Weather, WeatherConfig, WeatherTable};

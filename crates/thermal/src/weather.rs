@@ -144,21 +144,25 @@ impl Weather {
         self.span
     }
 
-    /// Outdoor temperature at `t` (°C). Panics outside the generated span.
+    /// Sampling resolution of the noise trace.
+    pub fn resolution(&self) -> SimDuration {
+        self.resolution
+    }
+
+    /// Outdoor temperature at `t` (°C). The seasonal/diurnal baseline is
+    /// periodic by construction; queries past the generated span wrap
+    /// the noise trace onto its sample grid, so long horizons see the
+    /// trace repeat rather than freeze at the last sample or panic.
     pub fn outdoor_c(&self, t: SimTime) -> f64 {
-        assert!(
-            t >= SimTime::ZERO && t <= SimTime::ZERO + self.span,
-            "weather queried at {t} outside generated span {}",
-            self.span
-        );
-        let pos = t.as_secs_f64() / self.resolution.as_secs_f64();
+        assert!(t >= SimTime::ZERO, "weather queried at negative time {t}");
+        let period = (self.noise.len() - 1) as f64;
+        let mut pos = t.as_secs_f64() / self.resolution.as_secs_f64();
+        if pos >= period {
+            pos %= period;
+        }
         let i = pos.floor() as usize;
         let frac = pos - i as f64;
-        let n = if i + 1 < self.noise.len() {
-            self.noise[i] * (1.0 - frac) + self.noise[i + 1] * frac
-        } else {
-            *self.noise.last().expect("noise trace non-empty")
-        };
+        let n = self.noise[i] * (1.0 - frac) + self.noise[i + 1] * frac;
         self.config.baseline_at(t) + n
     }
 
@@ -188,6 +192,68 @@ impl Weather {
             t += self.resolution;
         }
         dh
+    }
+}
+
+/// A flat tabulation of a [`Weather`] trace: the full seasonal +
+/// diurnal + noise temperature pre-evaluated at the trace's sample
+/// resolution, queried with a wrap + linear interpolation.
+///
+/// `Weather::outdoor_c` pays two `cos` calls plus the noise lerp on
+/// every query; on the platform hot path that query runs per control
+/// tick and per worker wake. A `WeatherTable` replaces it with two
+/// loads and a lerp. At grid points the table is exact (it stores
+/// `Weather::outdoor_c(i·res)` verbatim); between grid points it
+/// deviates only by the curvature of the diurnal cosine across one
+/// sample interval (< 0.05 °C at hourly resolution), which is far
+/// below the weather-noise floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeatherTable {
+    /// Total outdoor temperature at `resolution` spacing over the span.
+    samples: Vec<f64>,
+    resolution: SimDuration,
+    span: SimDuration,
+}
+
+impl WeatherTable {
+    /// Tabulate `weather` at its own noise resolution: one sample per
+    /// noise sample, baseline evaluated at the grid point (identical to
+    /// what `Weather::outdoor_c` returns there).
+    pub fn tabulate(weather: &Weather) -> Self {
+        let resolution = weather.resolution();
+        let mut samples = Vec::with_capacity(weather.noise.len());
+        for (i, &noise) in weather.noise.iter().enumerate() {
+            let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * resolution.as_secs_f64());
+            samples.push(weather.config.baseline_at(t) + noise);
+        }
+        WeatherTable {
+            samples,
+            resolution,
+            span: weather.span(),
+        }
+    }
+
+    pub fn span(&self) -> SimDuration {
+        self.span
+    }
+
+    pub fn resolution(&self) -> SimDuration {
+        self.resolution
+    }
+
+    /// Outdoor temperature at `t` (°C): two loads and a lerp. Queries
+    /// past the span wrap, mirroring [`Weather::outdoor_c`].
+    #[inline]
+    pub fn outdoor_c(&self, t: SimTime) -> f64 {
+        debug_assert!(t >= SimTime::ZERO, "weather queried at negative time {t}");
+        let period = (self.samples.len() - 1) as f64;
+        let mut pos = t.as_secs_f64() / self.resolution.as_secs_f64();
+        if pos >= period {
+            pos %= period;
+        }
+        let i = pos as usize;
+        let frac = pos - i as f64;
+        self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
     }
 }
 
@@ -303,11 +369,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn query_outside_span_panics() {
+    fn query_past_span_wraps_instead_of_panicking() {
+        // Regression: horizons longer than the generated trace used to
+        // panic (and Platform::finalise_energy clamped to dodge it).
+        // Past the span the noise trace wraps; the seasonal baseline is
+        // periodic anyway, so values stay physical.
         let cfg = WeatherConfig::paris(Calendar::JANUARY_EPOCH);
         let w = Weather::generate(cfg, SimDuration::from_days(10), &streams());
-        let _ = w.outdoor_c(SimTime::ZERO + SimDuration::from_days(11));
+        let past = w.outdoor_c(SimTime::ZERO + SimDuration::from_days(11));
+        assert!((-30.0..45.0).contains(&past), "wrapped query gave {past}");
+        // The wrapped noise is the start-of-trace noise, one period back.
+        let wrapped_noise = past - cfg.baseline_at(SimTime::ZERO + SimDuration::from_days(11));
+        let origin_noise = w.outdoor_c(SimTime::ZERO + SimDuration::from_days(1))
+            - cfg.baseline_at(SimTime::ZERO + SimDuration::from_days(1));
+        assert!(
+            (wrapped_noise - origin_noise).abs() < 1e-9,
+            "noise must wrap onto its own grid: {wrapped_noise} vs {origin_noise}"
+        );
+    }
+
+    #[test]
+    fn table_is_exact_on_grid_and_close_between() {
+        let cfg = WeatherConfig::paris(Calendar::JANUARY_EPOCH);
+        let w = Weather::generate(cfg, SimDuration::from_days(60), &streams());
+        let table = WeatherTable::tabulate(&w);
+        // Exact at in-span grid points (the table stores outdoor_c
+        // verbatim).
+        let mut t = SimTime::ZERO;
+        while t < SimTime::ZERO + SimDuration::from_days(60) {
+            assert_eq!(table.outdoor_c(t).to_bits(), w.outdoor_c(t).to_bits());
+            t += SimDuration::HOUR;
+        }
+        // Between grid points the lerp misses only diurnal curvature.
+        let mut max_dev = 0.0f64;
+        let mut q = SimTime::ZERO + SimDuration::from_secs(930);
+        while q < SimTime::ZERO + SimDuration::from_days(60) {
+            max_dev = max_dev.max((table.outdoor_c(q) - w.outdoor_c(q)).abs());
+            q += SimDuration::from_secs(2_711);
+        }
+        assert!(max_dev < 0.05, "table deviates {max_dev} °C from analytic");
+    }
+
+    #[test]
+    fn table_wraps_past_span() {
+        let cfg = WeatherConfig::paris(Calendar::JANUARY_EPOCH);
+        let w = Weather::generate(cfg, SimDuration::from_days(10), &streams());
+        let table = WeatherTable::tabulate(&w);
+        let lo = table.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = table
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Past-span queries wrap onto the sample grid: a lerp of stored
+        // samples, so always within the trace's range — never frozen at
+        // the last sample, never a panic.
+        let mut t = SimTime::ZERO + SimDuration::from_days(10);
+        while t < SimTime::ZERO + SimDuration::from_days(25) {
+            let v = table.outdoor_c(t);
+            assert!((lo..=hi).contains(&v), "wrapped query {v} outside trace");
+            t += SimDuration::from_hours(3) + SimDuration::from_secs(511);
+        }
     }
 
     #[test]

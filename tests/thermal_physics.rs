@@ -28,19 +28,19 @@ fn worker_energy_equals_integrated_power() {
         0,
         Arc::new(DvfsLadder::desktop_i7()),
         HeatRegulator::for_qrad(),
-        Room::new(RoomParams::typical_apartment_room(), 17.0),
         ModulatingThermostat::new(SetpointSchedule::constant(20.0), 1.5),
     );
+    let mut room = Room::new(RoomParams::typical_apartment_room(), 17.0);
     let step = SimDuration::from_secs(600);
     let mut t = SimTime::ZERO;
     let mut manual_j = 0.0;
     while t < SimTime::ZERO + SimDuration::from_days(7) {
         // Power over [t, t+step) is what control_tick(t+step) integrates.
-        w.control_tick(t, weather.outdoor_c(t), 100);
+        w.control_tick(t, weather.outdoor_c(t), 100, &mut room);
         manual_j += w.power_w() * step.as_secs_f64();
         t += step;
     }
-    w.control_tick(t, weather.outdoor_c(t), 100);
+    w.control_tick(t, weather.outdoor_c(t), 100, &mut room);
     let meter_kwh = w.energy_kwh();
     let manual_kwh = manual_j / 3.6e6;
     assert!(
@@ -61,16 +61,16 @@ fn qrad_and_convector_reach_the_same_comfort() {
         0,
         Arc::new(DvfsLadder::desktop_i7()),
         HeatRegulator::for_qrad(),
-        Room::new(RoomParams::typical_apartment_room(), 17.0),
         ModulatingThermostat::new(schedule, 1.5),
     );
+    let mut room = Room::new(RoomParams::typical_apartment_room(), 17.0);
     let step = SimDuration::from_secs(600);
     let mut t = SimTime::ZERO;
     let mut qrad_mean = 0.0;
     let mut n = 0;
     while t < SimTime::ZERO + SimDuration::from_days(14) {
-        w.control_tick(t, weather.outdoor_c(t), 100);
-        qrad_mean += w.room.temperature_c();
+        w.control_tick(t, weather.outdoor_c(t), 100, &mut room);
+        qrad_mean += room.temperature_c();
         n += 1;
         t += step;
     }
@@ -107,16 +107,16 @@ fn colder_weather_draws_more_energy() {
             0,
             Arc::new(DvfsLadder::desktop_i7()),
             HeatRegulator::for_qrad(),
-            Room::new(RoomParams::typical_apartment_room(), 17.0),
             ModulatingThermostat::new(SetpointSchedule::constant(20.0), 1.5),
         );
+        let mut room = Room::new(RoomParams::typical_apartment_room(), 17.0);
         let step = SimDuration::from_secs(600);
         let mut t = SimTime::ZERO;
         while t < SimTime::ZERO + SimDuration::from_days(7) {
-            w.control_tick(t, weather.outdoor_c(t), 100);
+            w.control_tick(t, weather.outdoor_c(t), 100, &mut room);
             t += step;
         }
-        w.control_tick(t, weather.outdoor_c(t), 100);
+        w.control_tick(t, weather.outdoor_c(t), 100, &mut room);
         w.energy_kwh()
     };
     let paris_kwh = run(&paris);
