@@ -5,6 +5,7 @@
 //! df3-experiments e1 e4 e13  # run selected experiments
 //! df3-experiments --fast     # reduced scales (CI-sized)
 //! df3-experiments bench      # performance trajectory → BENCH_PR2.json
+//! df3-experiments bench_pr3  # robustness trajectory → BENCH_PR3.json
 //! ```
 
 use std::env;
@@ -24,6 +25,15 @@ fn main() {
         println!("{}", table.render());
         let path = "BENCH_PR2.json";
         std::fs::write(path, report.to_json()).expect("write BENCH_PR2.json");
+        println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
+        return;
+    }
+    if selected.iter().any(|s| s == "bench_pr3") {
+        let t0 = Instant::now();
+        let (report, table) = bench::bench_pr3::run(fast);
+        println!("{}", table.render());
+        let path = "BENCH_PR3.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_PR3.json");
         println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
         return;
     }
@@ -118,6 +128,10 @@ fn main() {
     }
     if want("e19") {
         let (_, table) = bench::e19_coupling::run();
+        println!("{}", table.render());
+    }
+    if want("e20") {
+        let (_, table) = bench::e20_chaos::run(if fast { 6 } else { 24 }, seed);
         println!("{}", table.render());
     }
 

@@ -19,3 +19,4 @@ pub mod e16_resilience;
 pub mod e17_mining;
 pub mod e18_aging;
 pub mod e19_coupling;
+pub mod e20_chaos;

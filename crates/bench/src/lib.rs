@@ -11,6 +11,7 @@
 
 pub mod bench_pr1;
 pub mod bench_pr2;
+pub mod bench_pr3;
 pub mod experiments;
 
 pub use experiments::*;

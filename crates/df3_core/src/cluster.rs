@@ -205,9 +205,11 @@ impl ClusterSim {
             return Dispatch::Started { worker: i, finish };
         }
         // Pass 2: wake an eligible worker whose board is budget-limited
-        // but whose thermostat still demands heat.
+        // but whose thermostat still demands heat. Failed boards cannot
+        // wake — skipping them keeps arrival handling O(healthy) while
+        // a cluster is dark.
         for i in 0..self.workers.len() {
-            if !self.eligible(i, &job) {
+            if !self.eligible(i, &job) || self.workers[i].is_failed() {
                 continue;
             }
             let backlog = job.cores + self.workers[i].busy_cores();
@@ -224,9 +226,18 @@ impl ClusterSim {
         Dispatch::Full
     }
 
-    /// Load snapshot for the peak policies.
+    /// Load snapshot for the peak policies. Failed workers contribute
+    /// no capacity: a dark building reports zero total cores, so DCC
+    /// load-balancing and sibling selection route around it instead of
+    /// mistaking it for an empty cluster (in fault-free runs every
+    /// worker is healthy and the snapshot is unchanged).
     pub fn load(&self) -> ClusterLoad {
-        let total: usize = self.workers.iter().map(|w| w.n_cores()).sum();
+        let total: usize = self
+            .workers
+            .iter()
+            .filter(|w| !w.is_failed())
+            .map(|w| w.n_cores())
+            .sum();
         let busy: usize = self.workers.iter().map(|w| w.busy_cores()).sum();
         let preemptible: usize = self.workers.iter().map(|w| w.preemptible_cores()).sum();
         ClusterLoad {
@@ -344,6 +355,50 @@ impl ClusterSim {
             let dt = now.saturating_since(w.last_tick());
             rooms.stage(self.room_base + i, dt, w.heat_w());
         }
+    }
+
+    /// Re-stage boiler heat into the rooms of failed workers (after
+    /// [`ClusterSim::stage_thermal`], which staged them at 0 W): the
+    /// recovery layer's backfill keeps comfort §IV-stable while boards
+    /// are dark. The boiler modulates on the same thermostat as the
+    /// server it stands in for. Returns the staged boiler energy, kWh.
+    pub fn stage_backfill(&self, now: SimTime, rooms: &mut ThermalBatch, unit_w: f64) -> f64 {
+        let mut kwh = 0.0;
+        for (i, w) in self.workers.iter().enumerate() {
+            if !w.is_failed() {
+                continue;
+            }
+            let dt = now.saturating_since(w.last_tick());
+            if dt <= SimDuration::ZERO {
+                continue;
+            }
+            let slot = self.room_base + i;
+            let demand = w.thermostat.demand(now, rooms.temperature_c(slot));
+            let power = demand * unit_w;
+            if power > 0.0 {
+                rooms.stage(slot, dt, power);
+                kwh += power * dt.as_secs_f64() / 3.6e6;
+            }
+        }
+        kwh
+    }
+
+    /// Jobs owned by this cluster right now, by flow: queued plus
+    /// running slices, as `(edge, dcc)` — the in-flight half of the
+    /// platform's work-conservation ledger.
+    pub fn in_flight_by_flow(&self) -> (u64, u64) {
+        let mut edge = self.edge_queue.len() as u64;
+        let mut dcc = self.dcc_queue.len() as u64;
+        for w in &self.workers {
+            for s in w.running() {
+                if s.job.is_edge() {
+                    edge += 1;
+                } else {
+                    dcc += 1;
+                }
+            }
+        }
+        (edge, dcc)
     }
 
     /// Complete the control loop on every worker after the fleet sweep:
@@ -586,6 +641,51 @@ mod tests {
         c.control_tick(SimTime::from_secs(600), 20.0, &mut rooms);
         let warm_cores = c.usable_cores();
         assert_eq!(warm_cores, 0, "no heat demand, no capacity");
+    }
+
+    #[test]
+    fn failed_workers_vanish_from_load_and_dispatch() {
+        let (mut c, mut rooms) = cluster_a();
+        assert_eq!(c.load().total_cores, 64);
+        for w in 0..c.n_workers() {
+            c.worker_mut(w).fail(SimTime::ZERO);
+        }
+        assert_eq!(c.load().total_cores, 0, "a dark cluster has no capacity");
+        assert_eq!(c.load().utilisation(), 1.0, "…and never looks idle");
+        assert_eq!(
+            c.try_dispatch(SimTime::ZERO, 0.0, edge(1, 1), &mut rooms),
+            Dispatch::Full
+        );
+    }
+
+    #[test]
+    fn backfill_stages_boiler_heat_for_failed_rooms_only() {
+        let (mut c, mut rooms) = cluster_a();
+        c.worker_mut(0).fail(SimTime::ZERO);
+        // Cold rooms → full thermostat demand on the failed slot.
+        for w in 0..c.n_workers() {
+            rooms.set_temperature_c(c.room_slot(w), 10.0);
+        }
+        let before = rooms.temperature_c(c.room_slot(0));
+        let t1 = SimTime::from_secs(600);
+        c.stage_thermal(t1, &mut rooms);
+        let kwh = c.stage_backfill(t1, &mut rooms, 500.0);
+        rooms.step_staged(0.0);
+        // 500 W × 600 s ≈ 0.083 kWh staged into the one failed room.
+        assert!((kwh - 500.0 * 600.0 / 3.6e6).abs() < 1e-9, "kwh {kwh}");
+        assert!(
+            rooms.temperature_c(c.room_slot(0)) > before,
+            "boiler must warm the dark room"
+        );
+    }
+
+    #[test]
+    fn in_flight_counts_queued_and_running_by_flow() {
+        let (mut c, mut rooms) = cluster_a();
+        c.try_dispatch(SimTime::ZERO, 0.0, dcc(1, 8, 100.0), &mut rooms);
+        c.try_dispatch(SimTime::ZERO, 0.0, edge(2, 2), &mut rooms);
+        c.edge_queue.push(edge(3, 1));
+        assert_eq!(c.in_flight_by_flow(), (2, 1));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Platform configuration.
 
+use crate::faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 use simcore::time::{Calendar, SimDuration};
 
@@ -72,6 +73,12 @@ pub struct PlatformConfig {
     /// exists so the fast path cannot silently diverge. Defaults to the
     /// `scalar-thermal` cargo feature so CI can flip the whole suite.
     pub scalar_thermal: bool,
+    /// Declarative fault-injection plan (§IV). The empty plan (the
+    /// default) leaves the platform bit-identical to a build without
+    /// the fault layer; `worker_mtbf`/`worker_repair_time` and
+    /// `master_outage` above remain as legacy shorthands and are
+    /// absorbed into the plan's churn/master injectors at build time.
+    pub faults: FaultPlan,
 }
 
 impl PlatformConfig {
@@ -97,6 +104,7 @@ impl PlatformConfig {
             worker_mtbf: None,
             worker_repair_time: SimDuration::from_days(3),
             scalar_thermal: cfg!(feature = "scalar-thermal"),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -165,7 +173,8 @@ impl PlatformConfig {
         if self.worker_repair_time.is_negative() {
             return Err("repair time cannot be negative".into());
         }
-        Ok(())
+        self.faults
+            .validate(self.n_clusters, self.workers_per_cluster)
     }
 }
 
@@ -203,6 +212,12 @@ mod tests {
 
         let mut c = PlatformConfig::small_winter();
         c.control_period = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        // Fault plans are validated against the fleet shape.
+        let mut c = PlatformConfig::small_winter();
+        c.faults =
+            FaultPlan::none().with_cluster_outage(99, crate::faults::Window::from_hours(1, 2));
         assert!(c.validate().is_err());
     }
 

@@ -40,7 +40,7 @@ pub struct Datacenter {
     watts_per_core: f64,
     busy_cores: usize,
     queue: VecDeque<Job>,
-    running: Vec<(JobId, usize, SimTime)>,
+    running: Vec<(Job, usize, SimTime)>,
     /// IT energy, J.
     it_energy_j: f64,
     last_energy_update: SimTime,
@@ -76,6 +76,25 @@ impl Datacenter {
         self.completed
     }
 
+    /// Jobs queued plus running, by flow, as `(edge, dcc)` — the
+    /// datacenter leg of the platform's work-conservation ledger.
+    pub fn in_flight_by_flow(&self) -> (u64, u64) {
+        let mut edge = 0u64;
+        let mut dcc = 0u64;
+        for j in self
+            .queue
+            .iter()
+            .chain(self.running.iter().map(|(j, _, _)| j))
+        {
+            if j.is_edge() {
+                edge += 1;
+            } else {
+                dcc += 1;
+            }
+        }
+        (edge, dcc)
+    }
+
     fn accrue_energy(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_energy_update).as_secs_f64();
         self.it_energy_j += self.busy_cores as f64 * self.watts_per_core * dt;
@@ -90,7 +109,7 @@ impl Datacenter {
         if self.free_cores() >= job.cores {
             let finish = now + job.service_time(self.gops_per_core);
             self.busy_cores += job.cores;
-            self.running.push((job.id, job.cores, finish));
+            self.running.push((job, job.cores, finish));
             Some(finish)
         } else {
             self.queue.push_back(job);
@@ -105,7 +124,7 @@ impl Datacenter {
         let idx = self
             .running
             .iter()
-            .position(|(j, _, _)| *j == id)
+            .position(|(j, _, _)| j.id == id)
             .unwrap_or_else(|| panic!("job {id:?} not running in datacenter"));
         let (_, cores, _) = self.running.swap_remove(idx);
         self.busy_cores -= cores;
@@ -118,7 +137,7 @@ impl Datacenter {
             let job = self.queue.pop_front().expect("non-empty");
             let finish = now + job.service_time(self.gops_per_core);
             self.busy_cores += job.cores;
-            self.running.push((job.id, job.cores, finish));
+            self.running.push((job, job.cores, finish));
             started.push((job, finish));
         }
         started

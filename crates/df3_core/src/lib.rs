@@ -24,12 +24,17 @@
 //! - [`boiler`]: the digital-boiler variant of §II-B/§III-C — DHW
 //!   tanks give stable year-round capacity, always-on mode trades it
 //!   for waste heat.
+//! - [`faults`]: deterministic fault injection and recovery (§IV) —
+//!   declarative [`FaultPlan`]s composing worker churn, cluster
+//!   blackouts, master outages, link faults, and sensor faults, plus
+//!   retry/quarantine/boiler-backfill recovery.
 //! - [`config`]: platform configuration presets.
 
 pub mod boiler;
 pub mod cluster;
 pub mod config;
 pub mod datacenter;
+pub mod faults;
 pub mod platform;
 pub mod regulator;
 pub mod smartgrid;
@@ -37,5 +42,6 @@ pub mod stats;
 pub mod worker;
 
 pub use config::{ArchClass, PlatformConfig};
+pub use faults::{FaultPlan, RecoveryPolicy, SensorFaultKind, Window};
 pub use platform::{Platform, PlatformOutcome};
 pub use regulator::{HeatRegulator, RegulatorDecision};

@@ -13,12 +13,26 @@
 //! master hop for indirect edge (§II-C), the VPN overhead under
 //! architecture B, an inter-cluster fiber hop for horizontal offloads,
 //! and the WAN for anything that lands in the datacenter.
+//!
+//! ## Faults and recovery
+//!
+//! A [`crate::faults::FaultPlan`] on the config turns on the fault
+//! runtime: worker churn (absorbing the legacy `worker_mtbf` fields),
+//! correlated cluster power outages, repeated master-outage windows,
+//! link degradation/partition, and sensor faults. The recovery layer
+//! re-dispatches orphans through the normal offload decision, retries
+//! rejected edge requests while their deadline allows, quarantines
+//! flapping workers, and stages boiler heat into dark rooms. An empty
+//! plan skips the runtime entirely: fault-free runs are bit-identical
+//! to a build without the fault layer.
 
 use crate::cluster::{ClusterSim, Dispatch};
 use crate::config::{ArchClass, PlatformConfig};
 use crate::datacenter::{Datacenter, DatacenterConfig};
+use crate::faults::{FaultEventKind, FaultRuntime, SensorFaultKind};
 use crate::stats::PlatformStats;
-use dfnet::link::Link;
+use crate::worker::SensorState;
+use dfnet::link::{Link, LinkClass};
 use dfnet::protocol::Protocol;
 use sched::PeakAction;
 use simcore::engine::{Engine, Model, Scheduler};
@@ -59,6 +73,19 @@ enum Ev {
     WorkerRepair {
         cluster: usize,
         worker: usize,
+    },
+    /// A building-level power outage begins (`outage` indexes the
+    /// plan's `cluster_outages`).
+    ClusterDown {
+        outage: usize,
+    },
+    /// The outage's window ends; power is restored.
+    ClusterUp {
+        outage: usize,
+    },
+    /// A scheduled re-submission of a rejected edge request.
+    Retry {
+        job: Job,
     },
 }
 
@@ -111,6 +138,24 @@ pub struct Platform {
     last_energy_sample: SimTime,
     /// Seed-derived streams (worker-failure processes).
     streams: RngStreams,
+    /// Fault runtime — `None` when the plan is empty, so fault-free
+    /// runs pay nothing and stay bit-identical.
+    faults: Option<FaultRuntime>,
+    /// When each worker slot went dark (for MTTR accounting).
+    down_since: Vec<Option<SimTime>>,
+    /// Pending churn-failure event per worker slot (cancelled when a
+    /// cluster outage takes the whole building down first).
+    fail_events: Vec<Option<EventId>>,
+    /// Pending repair event per worker slot (cancelled when a cluster
+    /// outage's restoration repairs the board early).
+    repair_events: Vec<Option<EventId>>,
+    /// Retry events scheduled but not yet fired (in-flight for the
+    /// conservation ledger).
+    retries_pending: u64,
+    /// Churn parameters in force: the plan's churn when set, else the
+    /// legacy `worker_mtbf`/`worker_repair_time` shorthands.
+    effective_mtbf: Option<SimDuration>,
+    effective_repair: SimDuration,
 }
 
 /// Outcome of a platform run.
@@ -138,7 +183,7 @@ impl Platform {
         let n_worker_slots = config.n_clusters * config.workers_per_cluster;
         let mut rooms = ThermalBatch::with_capacity(n_worker_slots);
         rooms.set_scalar_reference(config.scalar_thermal);
-        let clusters = (0..config.n_clusters)
+        let mut clusters: Vec<ClusterSim> = (0..config.n_clusters)
             .map(|i| {
                 ClusterSim::new(
                     i,
@@ -151,6 +196,22 @@ impl Platform {
             .collect();
         let datacenter = (config.datacenter_cores > 0)
             .then(|| Datacenter::new(DatacenterConfig::standard(config.datacenter_cores)));
+        let faults = (!config.faults.is_empty())
+            .then(|| FaultRuntime::new(config.faults.clone(), config.n_clusters, n_worker_slots));
+        let (effective_mtbf, effective_repair) = match config.faults.worker_churn {
+            Some(c) => (Some(c.mtbf), c.repair_time),
+            None => (config.worker_mtbf, config.worker_repair_time),
+        };
+        if let Some(rt) = &faults {
+            if rt.has_sensor_faults() {
+                let bias = rt.plan().recovery.sensor_bias_c;
+                for c in &mut clusters {
+                    for w in 0..c.n_workers() {
+                        c.worker_mut(w).sensor_bias_c = bias;
+                    }
+                }
+            }
+        }
         Platform {
             config,
             weather,
@@ -165,6 +226,13 @@ impl Platform {
             wan: Link::new(Protocol::WanInternet).with_extra_latency(0.022),
             last_energy_sample: SimTime::ZERO,
             streams,
+            faults,
+            down_since: vec![None; n_worker_slots],
+            fail_events: vec![None; n_worker_slots],
+            repair_events: vec![None; n_worker_slots],
+            retries_pending: 0,
+            effective_mtbf,
+            effective_repair,
         }
     }
 
@@ -182,6 +250,7 @@ impl Platform {
         let (model, summary) = engine.run();
         let mut p = model.p;
         p.finalise_energy(summary.end_time);
+        p.finalise_accounting();
         PlatformOutcome {
             stats: p.stats,
             events: summary.events,
@@ -201,9 +270,9 @@ impl Platform {
     }
 
     /// Draw the next failure time for a worker after `after` from its
-    /// exponential failure process (None when failures are disabled).
+    /// exponential failure process (None when churn is disabled).
     fn next_failure(&self, cluster: usize, worker: usize, after: SimTime) -> Option<SimTime> {
-        let mtbf = self.config.worker_mtbf?;
+        let mtbf = self.effective_mtbf?;
         let idx = (cluster * self.config.workers_per_cluster + worker) as u64;
         // One independent stream per (worker, epoch): advance the stream
         // by hashing the current time in so repeated draws differ.
@@ -215,31 +284,64 @@ impl Platform {
         Some(after + SimDuration::from_secs_f64(gap))
     }
 
-    /// Whether the master nodes are inside their configured outage.
-    fn master_down(&self, now: SimTime) -> bool {
-        match self.config.master_outage {
-            Some((a, b)) => now >= SimTime::ZERO + a && now < SimTime::ZERO + b,
-            None => false,
+    /// Schedule (and track) the next churn failure of a worker.
+    fn schedule_next_failure(
+        &mut self,
+        cluster: usize,
+        worker: usize,
+        after: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        if let Some(at) = self.next_failure(cluster, worker, after) {
+            if at < sched.horizon() {
+                let ev = sched.at(at, Ev::WorkerFail { cluster, worker });
+                let slot = self.wslot(cluster, worker);
+                self.fail_events[slot] = Some(ev);
+            }
         }
     }
 
-    /// Network time added to a job's response by its flow and venue.
-    fn net_penalty(&self, job: &Job, venue: Venue) -> SimDuration {
+    /// Whether the master nodes are inside an outage window (legacy
+    /// single window or any plan window).
+    fn master_down(&self, now: SimTime) -> bool {
+        let legacy = match self.config.master_outage {
+            Some((a, b)) => now >= SimTime::ZERO + a && now < SimTime::ZERO + b,
+            None => false,
+        };
+        legacy || self.faults.as_ref().is_some_and(|rt| rt.master_down(now))
+    }
+
+    /// Whether `class` is severed right now by a plan partition.
+    fn partitioned(&self, class: LinkClass, now: SimTime) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|rt| rt.partitioned(class, now))
+    }
+
+    /// Network time added to a job's response by its flow and venue,
+    /// over the given link set.
+    fn net_penalty_links(
+        &self,
+        job: &Job,
+        venue: Venue,
+        device_link: Link,
+        lan: Link,
+        fiber: Link,
+        wan: Link,
+    ) -> SimDuration {
         let ingress_local = match job.flow {
-            Flow::EdgeDirect => self.device_link.transfer_time(job.input_bytes),
+            Flow::EdgeDirect => device_link.transfer_time(job.input_bytes),
             Flow::EdgeIndirect => {
                 // Device → gateway → master → worker (§II-C's extra hop).
-                self.device_link.transfer_time(job.input_bytes)
-                    + self.lan.transfer_time(job.input_bytes)
-                    + self.lan.transfer_time(job.input_bytes)
+                device_link.transfer_time(job.input_bytes)
+                    + lan.transfer_time(job.input_bytes)
+                    + lan.transfer_time(job.input_bytes)
             }
-            Flow::Dcc => self.fiber.transfer_time(job.input_bytes),
+            Flow::Dcc => fiber.transfer_time(job.input_bytes),
         };
         let egress_local = match job.flow {
-            Flow::EdgeDirect | Flow::EdgeIndirect => {
-                self.device_link.transfer_time(job.output_bytes)
-            }
-            Flow::Dcc => self.fiber.transfer_time(job.output_bytes),
+            Flow::EdgeDirect | Flow::EdgeIndirect => device_link.transfer_time(job.output_bytes),
+            Flow::Dcc => fiber.transfer_time(job.output_bytes),
         };
         let vpn = match (self.config.arch, job.is_edge()) {
             (ArchClass::DedicatedEdge { vpn_overhead, .. }, true) => vpn_overhead * 2,
@@ -248,27 +350,58 @@ impl Platform {
         let venue_extra = match venue {
             Venue::Local { .. } => SimDuration::ZERO,
             Venue::Horizontal { .. } => {
-                self.fiber.transfer_time(job.input_bytes)
-                    + self.fiber.transfer_time(job.output_bytes)
+                fiber.transfer_time(job.input_bytes) + fiber.transfer_time(job.output_bytes)
             }
             Venue::Datacenter => {
-                self.wan.transfer_time(job.input_bytes) + self.wan.transfer_time(job.output_bytes)
+                wan.transfer_time(job.input_bytes) + wan.transfer_time(job.output_bytes)
             }
         };
         ingress_local + egress_local + vpn + venue_extra
     }
 
+    /// Network penalty at `now`: base links, with any active plan
+    /// degradations folded in (links are `Copy`; the fault-free path
+    /// passes the base links through untouched).
+    fn net_penalty(&self, now: SimTime, job: &Job, venue: Venue) -> SimDuration {
+        match &self.faults {
+            Some(rt) => self.net_penalty_links(
+                job,
+                venue,
+                rt.effective_link(LinkClass::Device, now, self.device_link),
+                rt.effective_link(LinkClass::Lan, now, self.lan),
+                rt.effective_link(LinkClass::Fiber, now, self.fiber),
+                rt.effective_link(LinkClass::Wan, now, self.wan),
+            ),
+            None => {
+                self.net_penalty_links(job, venue, self.device_link, self.lan, self.fiber, self.wan)
+            }
+        }
+    }
+
     /// Record a completion.
     fn record_completion(&mut self, now: SimTime, job: &Job, venue: Venue) {
-        let response = now.saturating_since(job.arrival) + self.net_penalty(job, venue);
+        if let Some(rt) = self.faults.as_mut() {
+            rt.retry_book.forget(job.id);
+        }
+        let response = now.saturating_since(job.arrival) + self.net_penalty(now, job, venue);
         let finish_with_net = job.arrival + response;
         if job.is_edge() {
             let met = job.meets_deadline(finish_with_net);
             self.stats
                 .record_edge(response.as_millis_f64(), met, job.work_gops, job.org);
         } else {
-            // Ideal: full-speed local run with no waiting.
-            let ideal = job.service_time(3.0) + self.net_penalty(job, Venue::Local { cluster: 0 });
+            // Ideal: full-speed local run with no waiting, on pristine
+            // links (degradation must show up as slowdown, not shrink
+            // the baseline).
+            let ideal = job.service_time(3.0)
+                + self.net_penalty_links(
+                    job,
+                    Venue::Local { cluster: 0 },
+                    self.device_link,
+                    self.lan,
+                    self.fiber,
+                    self.wan,
+                );
             self.stats.record_dcc(
                 response.as_secs_f64(),
                 ideal.as_secs_f64(),
@@ -295,6 +428,9 @@ impl Platform {
     }
 
     fn submit_to_dc(&mut self, now: SimTime, job: Job, sched: &mut Scheduler<Ev>) -> bool {
+        if self.partitioned(LinkClass::Wan, now) {
+            return false; // the WAN is severed; no vertical offloading
+        }
         let Some(dc) = self.datacenter.as_mut() else {
             return false;
         };
@@ -329,17 +465,113 @@ impl Platform {
         self.running_events.insert(slot, job.id, ev);
     }
 
+    /// Terminal-or-retry for an edge request the platform cannot place:
+    /// with an enabled retry policy, re-submission is scheduled with
+    /// exponential backoff while the budget and the deadline both
+    /// allow; the request is abandoned (counted, never silent) once a
+    /// started chain runs dry. Without a retry layer this is the plain
+    /// legacy rejection.
+    fn reject_edge(&mut self, now: SimTime, job: Job, sched: &mut Scheduler<Ev>) {
+        let Some(policy) = self
+            .faults
+            .as_ref()
+            .map(|rt| rt.plan().recovery.retry)
+            .filter(|p| p.enabled())
+        else {
+            self.stats.edge_rejected.inc();
+            return;
+        };
+        let attempts = self
+            .faults
+            .as_ref()
+            .expect("retry policy implies runtime")
+            .retry_book
+            .attempts(job.id);
+        if attempts < policy.max_attempts {
+            let due = now + policy.backoff(attempts + 1);
+            let in_time = match job.absolute_deadline() {
+                Some(d) => due < d,
+                None => true,
+            };
+            if in_time {
+                self.faults
+                    .as_mut()
+                    .expect("checked")
+                    .retry_book
+                    .record_attempt(job.id);
+                self.stats.jobs_retried.inc();
+                self.retries_pending += 1;
+                sched.at(due, Ev::Retry { job });
+                return;
+            }
+        }
+        if attempts > 0 {
+            self.faults
+                .as_mut()
+                .expect("checked")
+                .retry_book
+                .forget(job.id);
+            self.stats.jobs_abandoned.inc();
+        } else {
+            self.stats.edge_rejected.inc();
+        }
+    }
+
+    /// Admission + placement shared by fresh arrivals and retries.
+    fn place(&mut self, now: SimTime, mut job: Job, sched: &mut Scheduler<Ev>) {
+        // Master outage (§IV): indirect edge requests need the master;
+        // they fail — or degrade to direct under the resource-oriented
+        // fallback.
+        if job.flow == Flow::EdgeIndirect && self.master_down(now) {
+            if self.config.roc_fallback_direct {
+                job.flow = Flow::EdgeDirect;
+            } else {
+                self.reject_edge(now, job, sched);
+                return;
+            }
+        }
+        let home = self.route_cluster(&job);
+        let load = self.clusters[home].load();
+        if !self.config.admission.admit(&job, &load) {
+            if job.is_edge() {
+                self.reject_edge(now, job, sched);
+            } else {
+                self.stats.dcc_rejected.inc();
+            }
+            return;
+        }
+        let outdoor = self.outdoor(now);
+        match self.clusters[home].try_dispatch(now, outdoor, job, &mut self.rooms) {
+            Dispatch::Started { worker, finish } => {
+                self.start_local(
+                    home,
+                    worker,
+                    job,
+                    finish,
+                    Venue::Local { cluster: home },
+                    sched,
+                );
+            }
+            Dispatch::Full => self.handle_full(now, home, job, sched),
+        }
+    }
+
     /// Handle a job that found its home cluster full: consult the peak
     /// policy and carry out the action.
     fn handle_full(&mut self, now: SimTime, home: usize, job: Job, sched: &mut Scheduler<Ev>) {
         let outdoor = self.outdoor(now);
         let local = self.clusters[home].load();
-        let siblings: Vec<sched::ClusterLoad> = self
-            .clusters
-            .iter()
-            .filter(|c| c.id != home)
-            .map(|c| c.load())
-            .collect();
+        // A severed inter-cluster fiber hides every sibling: horizontal
+        // offloading is impossible during the partition.
+        let siblings: Vec<sched::ClusterLoad> = if self.partitioned(LinkClass::Fiber, now) {
+            Vec::new()
+        } else {
+            self.clusters
+                .iter()
+                .filter(|c| c.id != home)
+                .map(|c| c.load())
+                .collect()
+        };
         let action = self.config.peak_policy.decide(&job, &local, &siblings);
         match action {
             PeakAction::Preempt => {
@@ -406,7 +638,7 @@ impl Platform {
             }
             PeakAction::Reject => {
                 if job.is_edge() {
-                    self.stats.edge_rejected.inc();
+                    self.reject_edge(now, job, sched);
                 } else {
                     self.stats.dcc_rejected.inc();
                 }
@@ -422,12 +654,148 @@ impl Platform {
         }
     }
 
+    /// Break one worker: account the lost progress, cancel the orphans'
+    /// finish events, and re-dispatch each orphan through the normal
+    /// offload decision (a failed building's work spills to siblings or
+    /// the datacenter instead of queueing behind a dark board). A crash
+    /// loses in-flight progress: orphans restart from their full work.
+    fn fail_worker(
+        &mut self,
+        now: SimTime,
+        cluster: usize,
+        worker: usize,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.stats.worker_failures.inc();
+        self.stats
+            .push_fault_event(now, FaultEventKind::WorkerFail, cluster, Some(worker));
+        let slot = self.wslot(cluster, worker);
+        if self.down_since[slot].is_none() {
+            self.down_since[slot] = Some(now);
+        }
+        let slices: Vec<(Job, usize, SimTime)> = self.clusters[cluster]
+            .worker(worker)
+            .running()
+            .iter()
+            .map(|s| (s.job, s.cores, s.started))
+            .collect();
+        for &(_, cores, started) in &slices {
+            self.stats.wasted_core_s += now.saturating_since(started).as_secs_f64() * cores as f64;
+        }
+        // `fail` checkpoints remaining work; a crash keeps nothing, so
+        // the checkpointed jobs are discarded in favour of full restarts.
+        let _ = self.clusters[cluster].worker_mut(worker).fail(now);
+        for (job, _, _) in slices {
+            if let Some(ev) = self.running_events.remove(slot, job.id) {
+                sched.cancel(ev);
+            }
+            self.redispatch_orphan(now, cluster, job, sched);
+        }
+    }
+
+    /// Re-dispatch an orphaned job after its worker failed, through the
+    /// same placement logic as an arrival (deadline-aware: an already
+    /// overdue edge orphan expires instead of wasting a slot).
+    fn redispatch_orphan(
+        &mut self,
+        now: SimTime,
+        home: usize,
+        job: Job,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.stats.jobs_requeued.inc();
+        if let Some(d) = job.absolute_deadline() {
+            if now >= d {
+                self.stats.edge_expired.inc();
+                if let Some(rt) = self.faults.as_mut() {
+                    rt.retry_book.forget(job.id);
+                }
+                return;
+            }
+        }
+        let outdoor = self.outdoor(now);
+        match self.clusters[home].try_dispatch(now, outdoor, job, &mut self.rooms) {
+            Dispatch::Started { worker, finish } => {
+                self.start_local(
+                    home,
+                    worker,
+                    job,
+                    finish,
+                    Venue::Local { cluster: home },
+                    sched,
+                );
+            }
+            Dispatch::Full => self.handle_full(now, home, job, sched),
+        }
+    }
+
+    /// Return a worker to service, closing its MTTR interval.
+    fn repair_worker(&mut self, now: SimTime, cluster: usize, worker: usize) {
+        let slot = self.wslot(cluster, worker);
+        if let Some(start) = self.down_since[slot].take() {
+            let dt = now.saturating_since(start).as_secs_f64();
+            self.stats.mttr_s.observe(dt);
+            self.stats.repair_s.observe(dt);
+        }
+        self.stats
+            .push_fault_event(now, FaultEventKind::WorkerRepair, cluster, Some(worker));
+        self.clusters[cluster].worker_mut(worker).repair();
+    }
+
+    /// Refresh every targeted room sensor from the plan's windows (run
+    /// at each control tick; cheap because it only walks the plan's
+    /// fault list, not the fleet).
+    fn apply_sensor_states(&mut self, now: SimTime) {
+        let Some(rt) = &self.faults else { return };
+        if !rt.has_sensor_faults() {
+            return;
+        }
+        let faults = rt.plan().sensor_faults.clone();
+        let wpc = self.config.workers_per_cluster;
+        // Reset every targeted sensor, then overlay the active windows
+        // (a later fault in the plan wins on overlap).
+        for f in &faults {
+            let range = match f.worker {
+                Some(w) => w..w + 1,
+                None => 0..wpc,
+            };
+            for w in range {
+                self.clusters[f.cluster]
+                    .worker_mut(w)
+                    .set_sensor(SensorState::Healthy);
+            }
+        }
+        let mut any_active = false;
+        for f in &faults {
+            if !f.window.contains(now) {
+                continue;
+            }
+            any_active = true;
+            let state = match f.kind {
+                SensorFaultKind::Dropout => SensorState::Dropout,
+                SensorFaultKind::StuckAt(v) => SensorState::StuckAt(v),
+            };
+            let range = match f.worker {
+                Some(w) => w..w + 1,
+                None => 0..wpc,
+            };
+            for w in range {
+                self.clusters[f.cluster].worker_mut(w).set_sensor(state);
+            }
+        }
+        if any_active {
+            self.stats.sensor_faulted_ticks.inc();
+        }
+    }
+
     /// Start everything a cluster's drain released.
     fn drain_cluster(&mut self, now: SimTime, cluster: usize, sched: &mut Scheduler<Ev>) {
         let outdoor = self.outdoor(now);
         for job in self.clusters[cluster].take_expired(now) {
-            let _ = job;
             self.stats.edge_expired.inc();
+            if let Some(rt) = self.faults.as_mut() {
+                rt.retry_book.forget(job.id);
+            }
         }
         let started = self.clusters[cluster].drain(now, outdoor, &mut self.rooms);
         for (worker, job, finish) in started {
@@ -458,6 +826,36 @@ impl Platform {
         }
         self.last_energy_sample = end;
     }
+
+    /// Close the work-conservation ledger: everything still queued,
+    /// running, in the datacenter, or awaiting a retry is in-flight;
+    /// arrivals must equal terminal outcomes plus in-flight.
+    fn finalise_accounting(&mut self) {
+        let mut edge = self.retries_pending;
+        let mut dcc = 0u64;
+        for c in &self.clusters {
+            let (e, d) = c.in_flight_by_flow();
+            edge += e;
+            dcc += d;
+        }
+        if let Some(dc) = &self.datacenter {
+            let (e, d) = dc.in_flight_by_flow();
+            edge += e;
+            dcc += d;
+        }
+        self.stats.edge_in_flight_end = edge;
+        self.stats.dcc_in_flight_end = dcc;
+        debug_assert_eq!(
+            self.stats.edge_arrived.get(),
+            self.stats.edge_terminal() + edge,
+            "edge conservation: arrived = completed+rejected+expired+abandoned+in-flight"
+        );
+        debug_assert_eq!(
+            self.stats.dcc_arrived.get(),
+            self.stats.dcc_completed.get() + self.stats.dcc_rejected.get() + dcc,
+            "dcc conservation: arrived = completed+rejected+in-flight"
+        );
+    }
 }
 
 struct PlatformModel {
@@ -475,19 +873,22 @@ impl Model for PlatformModel {
             }
         }
         sched.immediately(Ev::ControlTick);
-        if self.p.config.worker_mtbf.is_some() {
+        if self.p.effective_mtbf.is_some() {
             for c in 0..self.p.config.n_clusters {
                 for w in 0..self.p.config.workers_per_cluster {
-                    if let Some(at) = self.p.next_failure(c, w, SimTime::ZERO) {
-                        if at < sched.horizon() {
-                            sched.at(
-                                at,
-                                Ev::WorkerFail {
-                                    cluster: c,
-                                    worker: w,
-                                },
-                            );
-                        }
+                    self.p.schedule_next_failure(c, w, SimTime::ZERO, sched);
+                }
+            }
+        }
+        if let Some(rt) = &self.p.faults {
+            let outages = rt.plan().cluster_outages.clone();
+            for (i, o) in outages.iter().enumerate() {
+                let start = SimTime::ZERO + o.window.start;
+                if start < sched.horizon() {
+                    sched.at(start, Ev::ClusterDown { outage: i });
+                    let end = SimTime::ZERO + o.window.end;
+                    if end < sched.horizon() {
+                        sched.at(end, Ev::ClusterUp { outage: i });
                     }
                 }
             }
@@ -496,42 +897,17 @@ impl Model for PlatformModel {
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
-            Ev::Arrival(mut job) => {
-                // Master outage (§IV): indirect edge requests need the
-                // master; they fail — or degrade to direct under the
-                // resource-oriented fallback.
-                if job.flow == Flow::EdgeIndirect && self.p.master_down(now) {
-                    if self.p.config.roc_fallback_direct {
-                        job.flow = Flow::EdgeDirect;
-                    } else {
-                        self.p.stats.edge_rejected.inc();
-                        return;
-                    }
+            Ev::Arrival(job) => {
+                if job.is_edge() {
+                    self.p.stats.edge_arrived.inc();
+                } else {
+                    self.p.stats.dcc_arrived.inc();
                 }
-                let home = self.p.route_cluster(&job);
-                let load = self.p.clusters[home].load();
-                if !self.p.config.admission.admit(&job, &load) {
-                    if job.is_edge() {
-                        self.p.stats.edge_rejected.inc();
-                    } else {
-                        self.p.stats.dcc_rejected.inc();
-                    }
-                    return;
-                }
-                let outdoor = self.p.outdoor(now);
-                match self.p.clusters[home].try_dispatch(now, outdoor, job, &mut self.p.rooms) {
-                    Dispatch::Started { worker, finish } => {
-                        self.p.start_local(
-                            home,
-                            worker,
-                            job,
-                            finish,
-                            Venue::Local { cluster: home },
-                            sched,
-                        );
-                    }
-                    Dispatch::Full => self.p.handle_full(now, home, job, sched),
-                }
+                self.p.place(now, job, sched);
+            }
+            Ev::Retry { job } => {
+                self.p.retries_pending -= 1;
+                self.p.place(now, job, sched);
             }
             Ev::FinishLocal {
                 cluster,
@@ -561,32 +937,106 @@ impl Model for PlatformModel {
                 }
             }
             Ev::WorkerFail { cluster, worker } => {
-                self.p.stats.worker_failures.inc();
-                let orphans = self.p.clusters[cluster].worker_mut(worker).fail(now);
                 let slot = self.p.wslot(cluster, worker);
-                for job in orphans {
-                    if let Some(ev) = self.p.running_events.remove(slot, job.id) {
-                        sched.cancel(ev);
-                    }
-                    self.p.enqueue(cluster, job);
+                self.p.fail_events[slot] = None;
+                if self.p.clusters[cluster].worker(worker).is_failed() {
+                    return; // already dark (overlapping outage owns it)
                 }
-                sched.after(
-                    self.p.config.worker_repair_time,
-                    Ev::WorkerRepair { cluster, worker },
-                );
+                self.p.fail_worker(now, cluster, worker, sched);
+                let mut delay = self.p.effective_repair;
+                let quarantine = self
+                    .p
+                    .faults
+                    .as_ref()
+                    .and_then(|rt| rt.plan().recovery.quarantine);
+                if let (Some(q), Some(rt)) = (quarantine, self.p.faults.as_mut()) {
+                    if rt.flap.record(slot, now, &q) {
+                        self.p.stats.quarantines.inc();
+                        self.p.stats.push_fault_event(
+                            now,
+                            FaultEventKind::Quarantine,
+                            cluster,
+                            Some(worker),
+                        );
+                        delay += q.extra_downtime;
+                    }
+                }
+                let ev = sched.after(delay, Ev::WorkerRepair { cluster, worker });
+                self.p.repair_events[slot] = Some(ev);
                 // Orphaned work may fit elsewhere right away.
                 self.p.drain_cluster(now, cluster, sched);
             }
             Ev::WorkerRepair { cluster, worker } => {
-                self.p.clusters[cluster].worker_mut(worker).repair();
-                if let Some(at) = self.p.next_failure(cluster, worker, now) {
-                    if at < sched.horizon() {
-                        sched.at(at, Ev::WorkerFail { cluster, worker });
-                    }
+                let slot = self.p.wslot(cluster, worker);
+                self.p.repair_events[slot] = None;
+                if self
+                    .p
+                    .faults
+                    .as_ref()
+                    .is_some_and(|rt| rt.cluster_dark[cluster])
+                {
+                    return; // the outage owns this board; ClusterUp restores it
                 }
+                if !self.p.clusters[cluster].worker(worker).is_failed() {
+                    return; // stale: an intervening restoration already repaired it
+                }
+                self.p.repair_worker(now, cluster, worker);
+                self.p.schedule_next_failure(cluster, worker, now, sched);
                 self.p.drain_cluster(now, cluster, sched);
             }
+            Ev::ClusterDown { outage } => {
+                let c = {
+                    let rt = self.p.faults.as_ref().expect("outage implies runtime");
+                    rt.plan().cluster_outages[outage].cluster
+                };
+                self.p.faults.as_mut().expect("checked").cluster_dark[c] = true;
+                self.p.stats.cluster_outages.inc();
+                self.p
+                    .stats
+                    .push_fault_event(now, FaultEventKind::ClusterDown, c, None);
+                for w in 0..self.p.config.workers_per_cluster {
+                    let slot = self.p.wslot(c, w);
+                    if let Some(ev) = self.p.fail_events[slot].take() {
+                        sched.cancel(ev); // churn is moot while the building is dark
+                    }
+                    if !self.p.clusters[c].worker(w).is_failed() {
+                        self.p.fail_worker(now, c, w, sched);
+                    }
+                }
+                self.p.drain_cluster(now, c, sched);
+            }
+            Ev::ClusterUp { outage } => {
+                let (c, still_dark) =
+                    {
+                        let rt = self.p.faults.as_ref().expect("outage implies runtime");
+                        let c = rt.plan().cluster_outages[outage].cluster;
+                        let still =
+                            rt.plan().cluster_outages.iter().enumerate().any(|(i, o)| {
+                                i != outage && o.cluster == c && o.window.contains(now)
+                            });
+                        (c, still)
+                    };
+                if still_dark {
+                    return; // an overlapping outage keeps the building down
+                }
+                self.p.faults.as_mut().expect("checked").cluster_dark[c] = false;
+                self.p
+                    .stats
+                    .push_fault_event(now, FaultEventKind::ClusterUp, c, None);
+                for w in 0..self.p.config.workers_per_cluster {
+                    if self.p.clusters[c].worker(w).is_failed() {
+                        let slot = self.p.wslot(c, w);
+                        if let Some(ev) = self.p.repair_events[slot].take() {
+                            sched.cancel(ev); // power restoration resets the board
+                        }
+                        self.p.repair_worker(now, c, w);
+                        self.p.schedule_next_failure(c, w, now, sched);
+                    }
+                }
+                self.p.drain_cluster(now, c, sched);
+            }
             Ev::ControlTick => {
+                self.p.apply_sensor_states(now);
                 let outdoor = self.p.outdoor(now);
                 let mut temp = 0.0;
                 let mut usable = 0usize;
@@ -597,6 +1047,22 @@ impl Model for PlatformModel {
                 // batch — the district-scale fast path.
                 for c in &self.p.clusters {
                     c.stage_thermal(now, &mut self.p.rooms);
+                }
+                // Boiler backfill (§II-B): failed workers' rooms were
+                // staged at 0 W; restage them with boiler heat so the
+                // §IV comfort guarantee holds while boards are dark.
+                let backfill = self
+                    .p
+                    .faults
+                    .as_ref()
+                    .map(|rt| rt.plan().recovery)
+                    .filter(|r| r.boiler_backfill);
+                if let Some(r) = backfill {
+                    let mut kwh = 0.0;
+                    for c in &self.p.clusters {
+                        kwh += c.stage_backfill(now, &mut self.p.rooms, r.backfill_power_w);
+                    }
+                    self.p.stats.boiler_backfill_kwh += kwh;
                 }
                 self.p.rooms.step_staged(outdoor);
                 for i in 0..n {
@@ -618,6 +1084,7 @@ impl Model for PlatformModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, RecoveryPolicy, Window};
     use workloads::edge::{location_service_jobs, LocationServiceConfig};
 
     fn tiny_config() -> PlatformConfig {
@@ -785,5 +1252,114 @@ mod tests {
         assert_eq!(a.min(), b.min());
         assert_eq!(a.max(), b.max());
         assert_eq!(a.mean(), b.mean());
+    }
+
+    /// An inert plan — all windows beyond the horizon, recovery off —
+    /// builds the fault runtime but must not perturb a single bit:
+    /// every fault draw lives on its own RNG stream and every fault
+    /// code path is gated on active state.
+    #[test]
+    fn inert_plan_never_perturbs_the_simulation() {
+        let jobs = edge_stream(6);
+        let base = Platform::new(tiny_config()).run(&jobs);
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none()
+            .with_master_outage(Window::from_hours(1_000, 1_001))
+            .with_cluster_outage(0, Window::from_hours(1_000, 1_001))
+            .with_link_fault(
+                LinkClass::Fiber,
+                Window::from_hours(1_000, 1_001),
+                dfnet::link::Degradation::brownout(),
+                true,
+            )
+            .with_recovery(RecoveryPolicy::disabled());
+        let faulty = Platform::new(cfg).run(&jobs);
+        assert_eq!(base.events, faulty.events);
+        assert_eq!(base.stats.df_total_kwh, faulty.stats.df_total_kwh);
+        assert_eq!(
+            base.stats.edge_response_ms.p99(),
+            faulty.stats.edge_response_ms.p99()
+        );
+        assert_eq!(
+            base.stats.room_temp_c.summary().mean(),
+            faulty.stats.room_temp_c.summary().mean()
+        );
+        assert_eq!(
+            base.stats.edge_completed.get(),
+            faulty.stats.edge_completed.get()
+        );
+    }
+
+    #[test]
+    fn churn_with_recovery_conserves_every_job() {
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none()
+            .with_churn(SimDuration::from_hours(4), SimDuration::from_secs(1_800))
+            .with_recovery(RecoveryPolicy::standard());
+        let jobs = edge_stream(6);
+        let out = Platform::new(cfg).run(&jobs);
+        let s = &out.stats;
+        assert!(s.worker_failures.get() > 0, "churn must fire in 6 h");
+        assert!(s.mttr_s.count() > 0, "repairs must be recorded");
+        assert_eq!(
+            s.edge_arrived.get(),
+            s.edge_terminal() + s.edge_in_flight_end,
+            "no edge job lost or duplicated"
+        );
+        assert!(!s.fault_timeline.is_empty());
+    }
+
+    #[test]
+    fn cluster_outage_spills_orphans_and_backfills_heat() {
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none()
+            .with_cluster_outage(0, Window::from_hours(1, 3))
+            .with_recovery(RecoveryPolicy::standard());
+        let jobs = edge_stream(6);
+        let out = Platform::new(cfg).run(&jobs);
+        let s = &out.stats;
+        assert_eq!(s.cluster_outages.get(), 1);
+        assert!(s.worker_failures.get() >= 4, "the whole building goes dark");
+        assert!(
+            s.boiler_backfill_kwh > 0.0,
+            "boiler must carry the dark rooms"
+        );
+        assert_eq!(
+            s.edge_arrived.get(),
+            s.edge_terminal() + s.edge_in_flight_end
+        );
+        // Restoration happens inside the horizon → MTTR ≈ 2 h.
+        assert!(s.mttr_s.count() >= 4);
+        assert!(
+            (s.mttr_s.mean() - 7_200.0).abs() < 600.0,
+            "MTTR {}",
+            s.mttr_s.mean()
+        );
+    }
+
+    #[test]
+    fn retry_layer_reclaims_master_outage_rejections() {
+        // Indirect edge requests during a master outage are rejected;
+        // with retries enabled, requests arriving just before the
+        // window's end get re-submitted after it and complete.
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none()
+            .with_master_outage(Window::from_hours(1, 2))
+            .with_recovery(RecoveryPolicy::standard());
+        let jobs = edge_stream(6);
+        let with_retry = Platform::new(cfg.clone()).run(&jobs);
+        cfg.faults = cfg.faults.with_recovery(RecoveryPolicy::disabled());
+        let without = Platform::new(cfg).run(&jobs);
+        assert!(with_retry.stats.jobs_retried.get() > 0);
+        assert!(
+            with_retry.stats.jobs_abandoned.get() > 0,
+            "sub-second deadlines abandon most chains mid-outage"
+        );
+        assert!(without.stats.jobs_retried.get() == 0);
+        let s = &with_retry.stats;
+        assert_eq!(
+            s.edge_arrived.get(),
+            s.edge_terminal() + s.edge_in_flight_end
+        );
     }
 }

@@ -1,8 +1,13 @@
 //! Everything the experiments measure.
 
+use crate::faults::{FaultEvent, FaultEventKind};
 use simcore::metrics::{Counter, Histogram, Summary, TimeSeries};
 use simcore::time::SimTime;
 use std::collections::BTreeMap;
+
+/// Cap on stored fault-timeline entries (a week of heavy churn stays
+/// well under this; a runaway plan cannot balloon the run report).
+const FAULT_TIMELINE_CAP: usize = 20_000;
 
 /// Platform-wide measurement state.
 #[derive(Debug, Clone)]
@@ -27,8 +32,44 @@ pub struct PlatformStats {
     pub dcc_work_gops: f64,
     /// DCC work completed in the datacenter (vertical overflow share).
     pub dc_work_gops: f64,
+    /// Edge requests terminally dropped after spending retry budget
+    /// (counts against attainment, like a rejection).
+    pub jobs_abandoned: Counter,
     /// Worker hardware failures injected (§III-C availability).
     pub worker_failures: Counter,
+    /// Orphaned jobs re-dispatched after their worker failed.
+    pub jobs_requeued: Counter,
+    /// Edge re-submissions scheduled by the retry layer.
+    pub jobs_retried: Counter,
+    /// Workers quarantined for flapping.
+    pub quarantines: Counter,
+    /// Building-level power outages started.
+    pub cluster_outages: Counter,
+    /// Control ticks during which ≥ 1 room sensor was faulted.
+    pub sensor_faulted_ticks: Counter,
+    /// Core-seconds of partially-completed work lost to failures.
+    pub wasted_core_s: f64,
+    /// Boiler heat staged into failed workers' rooms, kWh (kept out of
+    /// `df_total_kwh`, which stays electrical).
+    pub boiler_backfill_kwh: f64,
+    /// Mean time to repair: downtime per repaired worker, s.
+    pub mttr_s: Summary,
+    /// Repair-duration histogram, s (0 – 7 days).
+    pub repair_s: Histogram,
+    /// Chronological fault/recovery record (capped; see
+    /// `fault_timeline_dropped`).
+    pub fault_timeline: Vec<FaultEvent>,
+    /// Timeline entries dropped past the cap.
+    pub fault_timeline_dropped: Counter,
+    /// Arrivals by flow (first submissions only — retries re-enter the
+    /// pipeline but are not new arrivals).
+    pub edge_arrived: Counter,
+    pub dcc_arrived: Counter,
+    /// Jobs still in flight when the horizon ended (queued, running,
+    /// in the datacenter, or awaiting a scheduled retry) — closes the
+    /// conservation ledger: arrived = terminal outcomes + in-flight.
+    pub edge_in_flight_end: u64,
+    pub dcc_in_flight_end: u64,
     /// Peak-management actions taken.
     pub preemptions: Counter,
     pub offload_vertical: Counter,
@@ -66,7 +107,23 @@ impl PlatformStats {
             edge_work_gops: 0.0,
             dcc_work_gops: 0.0,
             dc_work_gops: 0.0,
+            jobs_abandoned: Counter::new(),
             worker_failures: Counter::new(),
+            jobs_requeued: Counter::new(),
+            jobs_retried: Counter::new(),
+            quarantines: Counter::new(),
+            cluster_outages: Counter::new(),
+            sensor_faulted_ticks: Counter::new(),
+            wasted_core_s: 0.0,
+            boiler_backfill_kwh: 0.0,
+            mttr_s: Summary::new(),
+            repair_s: Histogram::new(0.0, 7.0 * 86_400.0, 1_024),
+            fault_timeline: Vec::new(),
+            fault_timeline_dropped: Counter::new(),
+            edge_arrived: Counter::new(),
+            dcc_arrived: Counter::new(),
+            edge_in_flight_end: 0,
+            dcc_in_flight_end: 0,
             preemptions: Counter::new(),
             offload_vertical: Counter::new(),
             offload_horizontal: Counter::new(),
@@ -113,14 +170,93 @@ impl PlatformStats {
     }
 
     /// Edge deadline attainment in [0, 1] over *arrived* edge requests
-    /// (completed + rejected + expired) — rejecting everything cannot
-    /// fake a perfect score.
+    /// (completed + rejected + expired + abandoned) — rejecting or
+    /// abandoning everything cannot fake a perfect score.
     pub fn edge_attainment(&self) -> f64 {
-        let denom = self.edge_completed.get() + self.edge_rejected.get() + self.edge_expired.get();
+        let denom = self.edge_completed.get()
+            + self.edge_rejected.get()
+            + self.edge_expired.get()
+            + self.jobs_abandoned.get();
         if denom == 0 {
             return 1.0;
         }
         self.edge_deadline_met.get() as f64 / denom as f64
+    }
+
+    /// Append a fault-timeline record (bounded; overflow is counted).
+    pub fn push_fault_event(
+        &mut self,
+        t: SimTime,
+        kind: FaultEventKind,
+        cluster: usize,
+        worker: Option<usize>,
+    ) {
+        if self.fault_timeline.len() < FAULT_TIMELINE_CAP {
+            self.fault_timeline.push(FaultEvent {
+                t,
+                kind,
+                cluster,
+                worker,
+            });
+        } else {
+            self.fault_timeline_dropped.inc();
+        }
+    }
+
+    /// Terminal edge outcomes recorded so far.
+    pub fn edge_terminal(&self) -> u64 {
+        self.edge_completed.get()
+            + self.edge_rejected.get()
+            + self.edge_expired.get()
+            + self.jobs_abandoned.get()
+    }
+
+    /// Rows of the recovery section of the run report:
+    /// `(metric, value)` pairs, rendered by the experiment tables.
+    pub fn recovery_report(&self) -> Vec<(String, String)> {
+        let mut rows = vec![
+            (
+                "worker failures".into(),
+                self.worker_failures.get().to_string(),
+            ),
+            ("jobs requeued".into(), self.jobs_requeued.get().to_string()),
+            ("jobs retried".into(), self.jobs_retried.get().to_string()),
+            (
+                "jobs abandoned".into(),
+                self.jobs_abandoned.get().to_string(),
+            ),
+            (
+                "wasted core-hours".into(),
+                format!("{:.2}", self.wasted_core_s / 3_600.0),
+            ),
+        ];
+        if self.mttr_s.count() > 0 {
+            rows.push((
+                "MTTR".into(),
+                format!(
+                    "{:.2} h (n={}, max {:.2} h)",
+                    self.mttr_s.mean() / 3_600.0,
+                    self.mttr_s.count(),
+                    self.mttr_s.max() / 3_600.0
+                ),
+            ));
+        }
+        if self.quarantines.get() > 0 {
+            rows.push(("quarantines".into(), self.quarantines.get().to_string()));
+        }
+        if self.cluster_outages.get() > 0 {
+            rows.push((
+                "cluster outages".into(),
+                self.cluster_outages.get().to_string(),
+            ));
+        }
+        if self.boiler_backfill_kwh > 0.0 {
+            rows.push((
+                "boiler backfill kWh".into(),
+                format!("{:.2}", self.boiler_backfill_kwh),
+            ));
+        }
+        rows
     }
 
     /// Combined platform PUE: (all energy) / (useful IT energy). DF
@@ -169,6 +305,36 @@ mod tests {
         s.edge_expired.inc();
         // 1 met out of 4 arrived.
         assert!((s.edge_attainment() - 0.25).abs() < 1e-12);
+        // Abandoned requests dilute attainment too: 1 met out of 5.
+        s.jobs_abandoned.inc();
+        assert!((s.edge_attainment() - 0.2).abs() < 1e-12);
+        assert_eq!(s.edge_terminal(), 5);
+    }
+
+    #[test]
+    fn fault_timeline_is_bounded() {
+        let mut s = PlatformStats::new();
+        for i in 0..25_000 {
+            s.push_fault_event(
+                SimTime::from_secs(i),
+                FaultEventKind::WorkerFail,
+                0,
+                Some(0),
+            );
+        }
+        assert_eq!(s.fault_timeline.len(), 20_000);
+        assert_eq!(s.fault_timeline_dropped.get(), 5_000);
+    }
+
+    #[test]
+    fn recovery_report_grows_with_activity() {
+        let mut s = PlatformStats::new();
+        let base = s.recovery_report().len();
+        s.mttr_s.observe(3_600.0);
+        s.quarantines.inc();
+        s.cluster_outages.inc();
+        s.boiler_backfill_kwh = 1.5;
+        assert_eq!(s.recovery_report().len(), base + 4);
     }
 
     #[test]

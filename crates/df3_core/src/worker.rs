@@ -25,6 +25,19 @@ use thermal::room::Room;
 use thermal::thermostat::ModulatingThermostat;
 use workloads::{Job, JobId};
 
+/// State of a worker's room-temperature sensor (fault injection).
+///
+/// The regulator must keep working — and never panic — on a faulty
+/// sensor: a dropout degrades to the last-known-good reading minus a
+/// conservative bias (erring toward heating), a stuck sensor feeds its
+/// constant through the same clamped thermostat demand curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SensorState {
+    Healthy,
+    Dropout,
+    StuckAt(f64),
+}
+
 /// A job slice running on a worker.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RunningSlice {
@@ -64,6 +77,12 @@ pub struct WorkerSim {
     failed: bool,
     /// Whether this worker is reserved for edge work (architecture B).
     pub edge_dedicated: bool,
+    /// Room-sensor state (fault injection; healthy by default).
+    sensor: SensorState,
+    /// Last reading taken while the sensor was healthy, °C.
+    last_good_c: Option<f64>,
+    /// Conservative bias subtracted from degraded readings, °C.
+    pub sensor_bias_c: f64,
     /// Flow of the most recently dispatched job (context-switch cost
     /// model of architecture A).
     last_flow_was_edge: Option<bool>,
@@ -97,7 +116,45 @@ impl WorkerSim {
             potential_cores: 0,
             failed: false,
             edge_dedicated: false,
+            sensor: SensorState::Healthy,
+            last_good_c: None,
+            sensor_bias_c: 0.5,
             last_flow_was_edge: None,
+        }
+    }
+
+    /// Set the room sensor's fault state (platform fault injection).
+    pub fn set_sensor(&mut self, s: SensorState) {
+        self.sensor = s;
+    }
+
+    pub fn sensor(&self) -> SensorState {
+        self.sensor
+    }
+
+    /// What the control loop *measures* given the true `room_c`. A
+    /// healthy sensor reads the truth (and refreshes last-known-good);
+    /// a dropout degrades to last-known-good minus the conservative
+    /// bias; a stuck sensor returns its constant. Non-finite inputs
+    /// degrade to the day setpoint minus the bias — the result is
+    /// always finite, so the clamped thermostat demand never panics.
+    fn sense(&mut self, room_c: f64) -> f64 {
+        let measured = match self.sensor {
+            SensorState::Healthy => {
+                if room_c.is_finite() {
+                    self.last_good_c = Some(room_c);
+                }
+                room_c
+            }
+            SensorState::Dropout => {
+                self.last_good_c.unwrap_or(self.thermostat.schedule.day_c) - self.sensor_bias_c
+            }
+            SensorState::StuckAt(v) => v,
+        };
+        if measured.is_finite() {
+            measured
+        } else {
+            self.thermostat.schedule.day_c - self.sensor_bias_c
         }
     }
 
@@ -261,7 +318,8 @@ impl WorkerSim {
             };
             return 0.0;
         }
-        let demand = self.thermostat.demand(now, room_c);
+        let measured_c = self.sense(room_c);
+        let demand = self.thermostat.demand(now, measured_c);
         self.potential_cores = self
             .regulator
             .decide(&self.ladder, demand, self.regulator.n_cores)
@@ -500,5 +558,53 @@ mod tests {
     #[should_panic]
     fn removing_absent_job_panics() {
         worker().0.remove(JobId(99));
+    }
+
+    #[test]
+    fn dropout_degrades_to_last_known_good_minus_bias() {
+        let (mut w, mut room) = worker();
+        // Healthy tick at 17 °C records last-known-good.
+        let d_healthy = w.control_tick(SimTime::ZERO, 5.0, 100, &mut room);
+        w.set_sensor(SensorState::Dropout);
+        // Room secretly warms to setpoint; the dropout still reads
+        // ~16.5 °C (17 − 0.5 bias) → demand no lower than before.
+        room = Room::new(RoomParams::typical_apartment_room(), 20.0);
+        let d_dropout = w.control_tick(SimTime::from_secs(600), 5.0, 100, &mut room);
+        assert!(
+            d_dropout >= d_healthy,
+            "conservative bias must not under-heat: {d_dropout} vs {d_healthy}"
+        );
+    }
+
+    #[test]
+    fn dropout_without_history_uses_setpoint_fallback() {
+        let (mut w, mut room) = worker();
+        w.set_sensor(SensorState::Dropout);
+        let d = w.control_tick(SimTime::ZERO, 5.0, 100, &mut room);
+        // Measured = 20 − 0.5 → a sliver of demand, never a panic.
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn stuck_sensor_feeds_its_constant_through_the_clamp() {
+        let (mut w, mut room) = worker();
+        w.set_sensor(SensorState::StuckAt(30.0));
+        let d = w.control_tick(SimTime::ZERO, 5.0, 100, &mut room);
+        assert_eq!(d, 0.0, "a hot-stuck sensor reads no demand");
+        w.set_sensor(SensorState::StuckAt(-40.0));
+        let d = w.control_tick(SimTime::from_secs(600), 5.0, 100, &mut room);
+        assert_eq!(d, 1.0, "a cold-stuck sensor saturates demand");
+    }
+
+    #[test]
+    fn non_finite_stuck_value_never_panics() {
+        let (mut w, mut room) = worker();
+        w.set_sensor(SensorState::StuckAt(f64::NAN));
+        let d = w.control_tick(SimTime::ZERO, 5.0, 100, &mut room);
+        assert!((0.0..=1.0).contains(&d));
+        w.set_sensor(SensorState::StuckAt(f64::INFINITY));
+        let d = w.control_tick(SimTime::from_secs(600), 5.0, 100, &mut room);
+        assert!((0.0..=1.0).contains(&d));
     }
 }

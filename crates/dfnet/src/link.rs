@@ -4,6 +4,66 @@ use crate::protocol::Protocol;
 use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
 
+/// The four link roles of the platform's network model, addressable by
+/// fault injectors (degradation and partition target a class, not a
+/// concrete [`Link`] instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Device ↔ worker access link (Wi-Fi).
+    Device,
+    /// Intra-building LAN (gateway/master hops).
+    Lan,
+    /// Inter-cluster fiber (horizontal offloads, DCC ingress).
+    Fiber,
+    /// WAN to the remote datacenter (vertical offloads).
+    Wan,
+}
+
+/// A multiplicative service degradation applied to a [`Link`] while a
+/// fault window is active: latency is stretched, bandwidth is derated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Factor ≥ 1 applied to the link's total fixed latency.
+    pub latency_factor: f64,
+    /// Factor in `(0, 1]` applied to the link's effective data rate.
+    pub bandwidth_factor: f64,
+}
+
+impl Degradation {
+    /// The identity degradation (no effect).
+    pub fn none() -> Self {
+        Degradation {
+            latency_factor: 1.0,
+            bandwidth_factor: 1.0,
+        }
+    }
+
+    /// A brown-out typical of a congested metro segment: 3× latency,
+    /// 40 % of nominal bandwidth.
+    pub fn brownout() -> Self {
+        Degradation {
+            latency_factor: 3.0,
+            bandwidth_factor: 0.4,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.latency_factor >= 1.0 && self.latency_factor.is_finite()) {
+            return Err(format!(
+                "latency factor {} must be ≥ 1",
+                self.latency_factor
+            ));
+        }
+        if !(self.bandwidth_factor > 0.0 && self.bandwidth_factor <= 1.0) {
+            return Err(format!(
+                "bandwidth factor {} out of (0,1]",
+                self.bandwidth_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A unidirectional link using a [`Protocol`], with an optional extra
 /// distance-dependent latency (metro/WAN spans) and a load factor.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -36,6 +96,21 @@ impl Link {
     pub fn with_efficiency(mut self, eff: f64) -> Self {
         assert!(eff > 0.0 && eff <= 1.0, "efficiency out of (0,1]: {eff}");
         self.efficiency = eff;
+        self
+    }
+
+    /// Apply a [`Degradation`]: the total fixed latency (protocol
+    /// base plus extra) is multiplied by `latency_factor` — the
+    /// protocol base itself is immutable, so the stretch lands on
+    /// `extra_latency_s` — and the effective data rate is derated by
+    /// `bandwidth_factor`.
+    pub fn degraded(mut self, d: Degradation) -> Self {
+        d.validate()
+            .unwrap_or_else(|e| panic!("bad degradation: {e}"));
+        let base = self.protocol.base_latency_s();
+        self.extra_latency_s =
+            self.extra_latency_s * d.latency_factor + base * (d.latency_factor - 1.0);
+        self.efficiency *= d.bandwidth_factor;
         self
     }
 
@@ -148,6 +223,40 @@ mod tests {
         let l = Link::new(Protocol::Fiber);
         let rtt = l.round_trip(200, 5_000);
         assert_eq!(rtt, l.transfer_time(200) + l.transfer_time(5_000));
+    }
+
+    #[test]
+    fn degradation_stretches_total_latency_and_derates_rate() {
+        let l = Link::new(Protocol::Fiber).with_extra_latency(0.001);
+        let d = l.degraded(Degradation {
+            latency_factor: 2.0,
+            bandwidth_factor: 0.5,
+        });
+        let fixed = Protocol::Fiber.base_latency_s() + 0.001;
+        assert!(
+            ((Protocol::Fiber.base_latency_s() + d.extra_latency_s) - 2.0 * fixed).abs() < 1e-12
+        );
+        assert!((d.efficiency - 0.5).abs() < 1e-12);
+        assert!(d.transfer_time(1_000_000) > l.transfer_time(1_000_000));
+    }
+
+    #[test]
+    fn identity_degradation_is_a_noop() {
+        let l = Link::new(Protocol::WanInternet).with_extra_latency(0.022);
+        let d = l.degraded(Degradation::none());
+        assert_eq!(
+            l.transfer_time(4_096).as_micros(),
+            d.transfer_time(4_096).as_micros()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bandwidth_factor_above_one_is_rejected() {
+        let _ = Link::new(Protocol::Fiber).degraded(Degradation {
+            latency_factor: 1.0,
+            bandwidth_factor: 1.5,
+        });
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //!   "a decision system that states what to do locally and remotely".
 //! - [`admission`]: utilisation-threshold admission control protecting
 //!   edge latency guarantees.
+//! - [`retry`]: per-job retry budgets with exponential backoff and
+//!   flapping-worker quarantine (the fault layer's recovery policy).
 
 pub mod admission;
 pub mod cluster;
@@ -34,7 +36,9 @@ pub mod list;
 pub mod offload;
 pub mod preempt;
 pub mod queue;
+pub mod retry;
 
 pub use decision::{Placement, PlacementScorer};
 pub use offload::{ClusterLoad, PeakAction, PeakPolicy};
 pub use queue::{Discipline, ReadyQueue};
+pub use retry::{FlapTracker, QuarantinePolicy, RetryPolicy};

@@ -30,6 +30,8 @@ pub mod heating;
 pub mod job;
 pub mod peak;
 pub mod render;
+pub mod retry;
 pub mod traces;
 
 pub use job::{Flow, Job, JobId};
+pub use retry::RetryBook;
