@@ -1,0 +1,472 @@
+//! `df3-experiments bench_pr4` — the PR 4 telemetry harness.
+//!
+//! PR 4's tentpole is the flight-recorder telemetry subsystem
+//! (`simcore::telemetry`): interned event ring, wall-clock phase
+//! profiler, and the three run exporters. This harness quantifies its
+//! two headline contracts and writes `BENCH_PR4.json` at the repository
+//! root:
+//!
+//! 1. **Recorder overhead** — `district_winter` paired runs with
+//!    telemetry disabled versus enabled. Telemetry must be *provably
+//!    inert*: it draws no RNG and mutates no model state, so the two
+//!    runs must agree bit for bit on every simulation statistic; the
+//!    paired ratio records the cost of the enabled recorder + profiler
+//!    (the "< 3 % enabled" contract, with "0 % disabled" enforced as
+//!    bit-identity by construction).
+//!
+//!    The cost is measured in **on-CPU time** (first field of
+//!    `/proc/thread-self/schedstat`, falling back to wall clock off
+//!    Linux), which equals wall clock on an unloaded core but stays
+//!    measurable when co-tenants preempt the benchmark. Each rep runs
+//!    the off/on pair in both orders so position bias cancels, and the
+//!    overhead is the ratio of per-side CPU-time floors across reps —
+//!    interference only ever *adds* CPU time, so floors are the
+//!    noise-excluded cost (see [`telemetry_overhead_bench`]).
+//! 2. **Export generation** — from one instrumented run, render the
+//!    JSONL report, Chrome trace, and Prometheus snapshot; validate
+//!    each, and record document sizes, line/event counts, and
+//!    generation wall clock.
+
+use crate::bench_pr1::{jf, json_kv};
+use df3_core::report::{ExportOptions, RunReport};
+use df3_core::{Platform, PlatformConfig, PlatformOutcome};
+use simcore::report::{f2, Table};
+use simcore::telemetry::export::json;
+use simcore::telemetry::Phase;
+use simcore::time::SimDuration;
+use simcore::RngStreams;
+use std::time::Instant;
+use workloads::edge::{location_service_jobs, LocationServiceConfig};
+use workloads::Flow;
+
+/// On-CPU cost of the enabled flight recorder + phase profiler.
+#[derive(Debug, Clone)]
+pub struct TelemetryOverheadBench {
+    pub horizon_hours: i64,
+    /// Reps that landed within 3 % of both session floors (quiet, i.e.
+    /// uncontaminated by co-tenant bursts).
+    pub reps: usize,
+    /// Floor (minimum) per-run CPU time with telemetry disabled, s.
+    pub off_cpu_s: f64,
+    /// Floor (minimum) per-run CPU time with telemetry enabled, s.
+    pub on_cpu_s: f64,
+    /// (on floor / off floor − 1) × 100.
+    pub overhead_pct: f64,
+    /// Disabled and enabled runs agree bit for bit on every sim
+    /// statistic, every pairing (the inertness contract).
+    pub bit_identical: bool,
+    /// Flight-recorder events held after the enabled run.
+    pub recorder_events: usize,
+    /// Events overwritten past the ring capacity.
+    pub recorder_dropped: u64,
+}
+
+/// Size, validity, and generation cost of the three export formats.
+#[derive(Debug, Clone)]
+pub struct ExportBench {
+    pub jsonl_bytes: usize,
+    pub jsonl_lines: usize,
+    pub trace_bytes: usize,
+    pub trace_span_pairs: usize,
+    pub prom_bytes: usize,
+    pub prom_samples: usize,
+    /// Wall clock to render all three documents, s.
+    pub export_wall_s: f64,
+    /// All three documents passed their validators.
+    pub all_valid: bool,
+}
+
+/// Everything PR 4's harness measures (serialised to `BENCH_PR4.json`).
+#[derive(Debug, Clone)]
+pub struct BenchPr4Report {
+    pub overhead: TelemetryOverheadBench,
+    pub exports: ExportBench,
+}
+
+fn district_config(hours: i64, seed: u64, telemetry: bool) -> PlatformConfig {
+    let mut cfg = PlatformConfig::district_winter();
+    cfg.horizon = SimDuration::from_hours(hours);
+    cfg.seed = seed;
+    cfg.telemetry.enabled = telemetry;
+    cfg
+}
+
+/// Seconds this thread has spent on-CPU (first field of
+/// `/proc/thread-self/schedstat` — excludes time stolen by co-tenant
+/// preemption; `self` would report the main thread, which is wrong
+/// under the test harness). Falls back to a monotonic wall reading
+/// where schedstats are unavailable. The source is chosen once per
+/// process: mixing the two across a single timed interval would
+/// produce garbage deltas (a fresh thread can legitimately read 0 ns
+/// before its first context switch).
+fn cpu_now_s() -> f64 {
+    fn schedstat_ns() -> Option<u64> {
+        std::fs::read_to_string("/proc/thread-self/schedstat")
+            .ok()
+            .and_then(|s| s.split_whitespace().next()?.parse().ok())
+    }
+    static USE_SCHEDSTAT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    if *USE_SCHEDSTAT.get_or_init(|| schedstat_ns().is_some()) {
+        // The kernel only folds the running slice into sum_exec_runtime
+        // at scheduling events; a run shorter than one timeslice would
+        // otherwise read a zero delta. Yielding forces the fold.
+        std::thread::yield_now();
+        schedstat_ns().unwrap_or(0) as f64 / 1e9
+    } else {
+        EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+    }
+}
+
+fn district_run(hours: i64, seed: u64, telemetry: bool) -> (PlatformOutcome, f64) {
+    let cfg = district_config(hours, seed, telemetry);
+    let jobs = location_service_jobs(
+        LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+        cfg.horizon,
+        &RngStreams::new(seed),
+        0,
+    );
+    let t0 = cpu_now_s();
+    let out = Platform::new(cfg).run(&jobs);
+    (out, cpu_now_s() - t0)
+}
+
+/// Paired telemetry-off/on district runs. Each rep times the pair in
+/// both orders (off,on,on,off — alternating which leads) and compares
+/// `Σon / Σoff` within the rep, so ambient load and frequency drift
+/// cancel; the bit-identity contract is checked on every pairing.
+///
+/// Co-tenant interference is strictly *additive* — a burst can only
+/// inflate a run's CPU time, never shrink it — so each side's **floor**
+/// (minimum per-run CPU time across reps) is its best noise-excluded
+/// cost estimate, and the reported overhead is the ratio of floors.
+/// Collection is adaptive: reps keep accumulating (up to `4 × reps`)
+/// until `reps` of them are *quiet* — both sides within 3 % of their
+/// session floors — which certifies the floors as converged rather
+/// than lucky one-offs. If the machine never quiets down, all `4 ×
+/// reps` reps contribute and the floors still exclude every burst
+/// they dodged.
+pub fn telemetry_overhead_bench(hours: i64, reps: usize, seed: u64) -> TelemetryOverheadBench {
+    let fingerprint = |o: &PlatformOutcome| {
+        (
+            o.events,
+            o.stats.df_total_kwh.to_bits(),
+            o.stats.edge_response_ms.p99().to_bits(),
+            o.stats.room_temp_c.summary().mean().to_bits(),
+            o.stats.edge_completed.get(),
+        )
+    };
+    let fmin = |xs: &[f64]| xs.iter().copied().fold(f64::MAX, f64::min);
+    let quiet_reps = |off_cpus: &[f64], on_cpus: &[f64]| {
+        let (off_floor, on_floor) = (fmin(off_cpus), fmin(on_cpus));
+        off_cpus
+            .iter()
+            .zip(on_cpus)
+            .filter(|&(&off, &on)| off <= off_floor * 1.03 && on <= on_floor * 1.03)
+            .count()
+    };
+    let mut bit_identical = true;
+    let mut off_cpus = Vec::new();
+    let mut on_cpus = Vec::new();
+    let mut recorder_events = 0;
+    let mut recorder_dropped = 0;
+    for rep in 0..reps * 4 {
+        // Both orders inside every rep (off,on,on,off or its mirror):
+        // position bias — warm-up, allocator state, frequency ramps —
+        // cancels in the Σon/Σoff ratio.
+        let order = if rep % 2 == 0 {
+            [false, true, true, false]
+        } else {
+            [true, false, false, true]
+        };
+        let mut off_cpu = 0.0;
+        let mut on_cpu = 0.0;
+        let mut off_fp = None;
+        let mut on_fp = None;
+        for &telemetry in &order {
+            let (out, cpu) = district_run(hours, seed, telemetry);
+            let fp = fingerprint(&out);
+            let slot = if telemetry { &mut on_fp } else { &mut off_fp };
+            match slot {
+                None => *slot = Some(fp),
+                Some(prev) => bit_identical &= *prev == fp,
+            }
+            if telemetry {
+                on_cpu += cpu;
+                recorder_events = out.telemetry.recorder.len();
+                recorder_dropped = out.telemetry.recorder.dropped();
+            } else {
+                off_cpu += cpu;
+            }
+        }
+        bit_identical &= off_fp == on_fp;
+        off_cpus.push(off_cpu / 2.0);
+        on_cpus.push(on_cpu / 2.0);
+        if rep + 1 >= reps && quiet_reps(&off_cpus, &on_cpus) >= reps {
+            break;
+        }
+    }
+    let (off_floor, on_floor) = (fmin(&off_cpus), fmin(&on_cpus));
+    TelemetryOverheadBench {
+        horizon_hours: hours,
+        reps: quiet_reps(&off_cpus, &on_cpus),
+        off_cpu_s: off_floor,
+        on_cpu_s: on_floor,
+        // Guard the degenerate clock (a floor of exactly 0 s can only
+        // mean the time source failed): report 0 rather than NaN/inf
+        // so the JSON stays well-formed.
+        overhead_pct: if off_floor > 0.0 {
+            (on_floor / off_floor - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        bit_identical,
+        recorder_events,
+        recorder_dropped,
+    }
+}
+
+/// Render and validate all three exports from one instrumented run.
+pub fn export_bench(hours: i64, seed: u64) -> ExportBench {
+    let cfg = district_config(hours, seed, true);
+    let (mut out, _) = district_run(hours, seed, true);
+    let t0 = Instant::now();
+    let report = RunReport::new("district_winter", &cfg, &out);
+    let jsonl = report.jsonl(&ExportOptions::full());
+    let trace = report.chrome_trace_json();
+    let prom = report.prometheus();
+    let export_wall_s = t0.elapsed().as_secs_f64();
+    // The Export phase accumulates exporter wall clock alongside the
+    // hot-loop phases; stamp it so profiler totals cover the whole run.
+    out.telemetry
+        .profiler
+        .record_ns(Phase::Export, (export_wall_s * 1e9) as u64);
+    let jsonl_ok = json::validate_lines(&jsonl).is_ok();
+    let trace_ok = json::validate(&trace).is_ok();
+    let b = trace.matches("\"ph\":\"B\"").count();
+    let e = trace.matches("\"ph\":\"E\"").count();
+    let prom_samples = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    let prom_ok = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .all(|l| {
+            l.rsplit_once(' ')
+                .is_some_and(|(_, v)| v.parse::<f64>().is_ok())
+        });
+    ExportBench {
+        jsonl_bytes: jsonl.len(),
+        jsonl_lines: jsonl.lines().count(),
+        trace_bytes: trace.len(),
+        trace_span_pairs: b,
+        prom_bytes: prom.len(),
+        prom_samples,
+        export_wall_s,
+        all_valid: jsonl_ok && trace_ok && prom_ok && b == e,
+    }
+}
+
+impl BenchPr4Report {
+    /// Hand-rolled JSON (the workspace deliberately has no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        json_kv(&mut s, "  ", "pr", "4".into(), false);
+        s.push_str("  \"telemetry_overhead\": {\n");
+        let o = &self.overhead;
+        json_kv(
+            &mut s,
+            "    ",
+            "horizon_hours",
+            o.horizon_hours.to_string(),
+            false,
+        );
+        json_kv(&mut s, "    ", "reps", o.reps.to_string(), false);
+        json_kv(&mut s, "    ", "off_cpu_s", jf(o.off_cpu_s), false);
+        json_kv(&mut s, "    ", "on_cpu_s", jf(o.on_cpu_s), false);
+        json_kv(&mut s, "    ", "overhead_pct", jf(o.overhead_pct), false);
+        json_kv(
+            &mut s,
+            "    ",
+            "bit_identical",
+            o.bit_identical.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "recorder_events",
+            o.recorder_events.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "recorder_dropped",
+            o.recorder_dropped.to_string(),
+            true,
+        );
+        s.push_str("  },\n");
+        s.push_str("  \"exports\": {\n");
+        let x = &self.exports;
+        json_kv(
+            &mut s,
+            "    ",
+            "jsonl_bytes",
+            x.jsonl_bytes.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "jsonl_lines",
+            x.jsonl_lines.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "trace_bytes",
+            x.trace_bytes.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "trace_span_pairs",
+            x.trace_span_pairs.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "prom_bytes",
+            x.prom_bytes.to_string(),
+            false,
+        );
+        json_kv(
+            &mut s,
+            "    ",
+            "prom_samples",
+            x.prom_samples.to_string(),
+            false,
+        );
+        json_kv(&mut s, "    ", "export_wall_s", jf(x.export_wall_s), false);
+        json_kv(&mut s, "    ", "all_valid", x.all_valid.to_string(), true);
+        s.push_str("  }\n");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Run the full PR 4 harness. `fast` shrinks every stage to CI scale
+/// (the committed `BENCH_PR4.json` comes from a full release run).
+pub fn run(fast: bool) -> (BenchPr4Report, Table) {
+    let seed = 0xDF3_2018;
+    let overhead =
+        telemetry_overhead_bench(if fast { 1 } else { 168 }, if fast { 2 } else { 15 }, seed);
+    let exports = export_bench(if fast { 1 } else { 24 }, seed);
+    let report = BenchPr4Report { overhead, exports };
+    let mut table = Table::new("PR 4 telemetry trajectory").headers(&["metric", "value", "note"]);
+    let o = &report.overhead;
+    table.row(&[
+        "recorder overhead %".into(),
+        f2(o.overhead_pct),
+        format!(
+            "district {} h, {} quiet reps (cpu floor ratio), bit-identical: {}",
+            o.horizon_hours,
+            o.reps,
+            if o.bit_identical { "yes" } else { "NO" }
+        ),
+    ]);
+    table.row(&[
+        "recorder events".into(),
+        o.recorder_events.to_string(),
+        format!("{} overwritten past ring capacity", o.recorder_dropped),
+    ]);
+    let x = &report.exports;
+    table.row(&[
+        "export wall s".into(),
+        f2(x.export_wall_s),
+        format!(
+            "jsonl {} lines, trace {} spans, prom {} samples",
+            x.jsonl_lines, x.trace_span_pairs, x.prom_samples
+        ),
+    ]);
+    table.row(&[
+        "exports valid".into(),
+        if x.all_valid { "yes" } else { "NO" }.into(),
+        format!(
+            "{} + {} + {} bytes",
+            x.jsonl_bytes, x.trace_bytes, x.prom_bytes
+        ),
+    ]);
+    (report, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_is_bit_identical_and_records() {
+        let o = telemetry_overhead_bench(1, 1, 0xDF3_2018);
+        assert!(o.bit_identical, "telemetry perturbed the district run");
+        assert!(o.recorder_events > 0, "enabled run recorded nothing");
+        assert!(o.off_cpu_s > 0.0 && o.on_cpu_s > 0.0);
+        assert!(o.overhead_pct.is_finite());
+    }
+
+    #[test]
+    fn exports_validate_at_ci_scale() {
+        let x = export_bench(1, 0xDF3_2018);
+        assert!(x.all_valid, "an export failed validation");
+        assert!(x.jsonl_lines > 30);
+        assert!(x.trace_span_pairs > 0, "no job spans in the trace");
+        assert!(x.prom_samples > 30);
+    }
+
+    #[test]
+    fn report_serialises_to_wellformed_json() {
+        let report = BenchPr4Report {
+            overhead: TelemetryOverheadBench {
+                horizon_hours: 1,
+                reps: 3,
+                off_cpu_s: 1.0,
+                on_cpu_s: 1.01,
+                overhead_pct: 1.0,
+                bit_identical: true,
+                recorder_events: 1_000,
+                recorder_dropped: 0,
+            },
+            exports: ExportBench {
+                jsonl_bytes: 10_000,
+                jsonl_lines: 60,
+                trace_bytes: 50_000,
+                trace_span_pairs: 400,
+                prom_bytes: 4_000,
+                prom_samples: 45,
+                export_wall_s: 0.01,
+                all_valid: true,
+            },
+        };
+        let j = report.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        for key in [
+            "telemetry_overhead",
+            "overhead_pct",
+            "bit_identical",
+            "recorder_events",
+            "exports",
+            "trace_span_pairs",
+            "all_valid",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!(!j.contains(",\n  }"), "trailing comma");
+        assert!(!j.contains(",\n}"), "trailing comma");
+    }
+}

@@ -6,6 +6,9 @@
 //! df3-experiments --fast     # reduced scales (CI-sized)
 //! df3-experiments bench      # performance trajectory → BENCH_PR2.json
 //! df3-experiments bench_pr3  # robustness trajectory → BENCH_PR3.json
+//! df3-experiments bench_pr4  # telemetry trajectory → BENCH_PR4.json
+//! df3-experiments report --preset district_winter --hours 24 --out runs/
+//!                            # one instrumented run → JSONL + Chrome trace + Prometheus
 //! ```
 
 use std::env;
@@ -35,6 +38,29 @@ fn main() {
         let path = "BENCH_PR3.json";
         std::fs::write(path, report.to_json()).expect("write BENCH_PR3.json");
         println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
+        return;
+    }
+    if selected.iter().any(|s| s == "bench_pr4") {
+        let t0 = Instant::now();
+        let (report, table) = bench::bench_pr4::run(fast);
+        println!("{}", table.render());
+        let path = "BENCH_PR4.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_PR4.json");
+        println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
+        return;
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        let t0 = Instant::now();
+        match bench::run_report::parse_args(&args[1..]).and_then(|a| bench::run_report::run(&a)) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("done in {:.1} s", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("df3-experiments report: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);

@@ -12,6 +12,8 @@
 pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr3;
+pub mod bench_pr4;
 pub mod experiments;
+pub mod run_report;
 
 pub use experiments::*;

@@ -2,7 +2,48 @@
 
 use crate::faults::FaultPlan;
 use serde::{Deserialize, Serialize};
+use simcore::telemetry::TelemetryConfig;
 use simcore::time::{Calendar, SimDuration};
+
+/// Thresholds for the run-time invariant watchdogs. Watchdogs only run
+/// while telemetry is enabled and only *observe*: a tripped invariant
+/// becomes a `watchdog.*` flight-recorder event (surfaced by the run
+/// report), never a panic — week-long district runs should land with
+/// their evidence, not die mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Mean room temperature below this trips `watchdog.temp_band`.
+    pub temp_lo_c: f64,
+    /// Mean room temperature above this trips `watchdog.temp_band`.
+    pub temp_hi_c: f64,
+    /// Total queued jobs (all clusters) above this trips
+    /// `watchdog.queue_depth`.
+    pub max_queued: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // The declared comfort band brackets the 17 °C night setback
+        // and the 20 °C day setpoint with margin for cold snaps.
+        WatchdogConfig {
+            temp_lo_c: 10.0,
+            temp_hi_c: 26.0,
+            max_queued: 50_000,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.temp_lo_c >= self.temp_hi_c || self.temp_lo_c.is_nan() || self.temp_hi_c.is_nan() {
+            return Err(format!(
+                "watchdog temp band {}..{} is empty",
+                self.temp_lo_c, self.temp_hi_c
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// The two §III-B cluster architectures.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,6 +120,12 @@ pub struct PlatformConfig {
     /// `master_outage` above remain as legacy shorthands and are
     /// absorbed into the plan's churn/master injectors at build time.
     pub faults: FaultPlan,
+    /// Flight-recorder + phase-profiler switches. Disabled by default;
+    /// a disabled recorder leaves the run bit-identical to a build
+    /// without the telemetry layer (property-tested).
+    pub telemetry: TelemetryConfig,
+    /// Invariant-watchdog thresholds (active only with telemetry on).
+    pub watchdogs: WatchdogConfig,
 }
 
 impl PlatformConfig {
@@ -105,6 +152,8 @@ impl PlatformConfig {
             worker_repair_time: SimDuration::from_days(3),
             scalar_thermal: cfg!(feature = "scalar-thermal"),
             faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::default(),
+            watchdogs: WatchdogConfig::default(),
         }
     }
 
@@ -173,6 +222,8 @@ impl PlatformConfig {
         if self.worker_repair_time.is_negative() {
             return Err("repair time cannot be negative".into());
         }
+        self.telemetry.validate()?;
+        self.watchdogs.validate()?;
         self.faults
             .validate(self.n_clusters, self.workers_per_cluster)
     }

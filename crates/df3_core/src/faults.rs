@@ -342,6 +342,28 @@ pub enum FaultEventKind {
     ClusterUp,
 }
 
+impl FaultEventKind {
+    /// Every kind, in declaration order (pre-interning telemetry tags).
+    pub const ALL: [FaultEventKind; 5] = [
+        FaultEventKind::WorkerFail,
+        FaultEventKind::WorkerRepair,
+        FaultEventKind::Quarantine,
+        FaultEventKind::ClusterDown,
+        FaultEventKind::ClusterUp,
+    ];
+
+    /// Stable snake_case name for telemetry and run reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEventKind::WorkerFail => "worker_fail",
+            FaultEventKind::WorkerRepair => "worker_repair",
+            FaultEventKind::Quarantine => "quarantine",
+            FaultEventKind::ClusterDown => "cluster_down",
+            FaultEventKind::ClusterUp => "cluster_up",
+        }
+    }
+}
+
 /// One fault-timeline record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultEvent {

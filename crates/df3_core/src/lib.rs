@@ -29,6 +29,9 @@
 //!   blackouts, master outages, link faults, and sensor faults, plus
 //!   retry/quarantine/boiler-backfill recovery.
 //! - [`config`]: platform configuration presets.
+//! - [`report`]: run exporters — JSONL report, Chrome trace-event
+//!   timeline, Prometheus text snapshot — over one run's stats, flight
+//!   recorder, and phase profiler.
 
 pub mod boiler;
 pub mod cluster;
@@ -37,11 +40,13 @@ pub mod datacenter;
 pub mod faults;
 pub mod platform;
 pub mod regulator;
+pub mod report;
 pub mod smartgrid;
 pub mod stats;
 pub mod worker;
 
-pub use config::{ArchClass, PlatformConfig};
+pub use config::{ArchClass, PlatformConfig, WatchdogConfig};
 pub use faults::{FaultPlan, RecoveryPolicy, SensorFaultKind, Window};
 pub use platform::{Platform, PlatformOutcome};
 pub use regulator::{HeatRegulator, RegulatorDecision};
+pub use report::{ExportOptions, RunReport};

@@ -37,6 +37,9 @@ use dfnet::protocol::Protocol;
 use sched::PeakAction;
 use simcore::engine::{Engine, Model, Scheduler};
 use simcore::event::EventId;
+use simcore::telemetry::{
+    FieldSet, FlightRecorder, Phase, PhaseProfiler, TagId, Telemetry, Track, Value,
+};
 use simcore::time::{SimDuration, SimTime};
 use simcore::RngStreams;
 use thermal::batch::ThermalBatch;
@@ -116,6 +119,96 @@ impl RunningEvents {
     }
 }
 
+/// Dense flow index for per-flow telemetry tag arrays.
+#[inline]
+fn flow_ix(f: Flow) -> usize {
+    match f {
+        Flow::Dcc => 0,
+        Flow::EdgeDirect => 1,
+        Flow::EdgeIndirect => 2,
+    }
+}
+
+/// Telemetry tags pre-interned at construction. Interning works on a
+/// disabled recorder too (stable ids without storage), so enabled and
+/// disabled runs share one code path and identically-driven runs get
+/// identical ids — exports stay byte-reproducible.
+struct Tags {
+    /// Per-flow job-span tags, indexed by [`flow_ix`].
+    job_span: [TagId; 3],
+    job_reject: TagId,
+    job_retry: TagId,
+    job_abandon: TagId,
+    job_expire: TagId,
+    peak_preempt: TagId,
+    peak_offload_vertical: TagId,
+    peak_offload_horizontal: TagId,
+    peak_delay: TagId,
+    /// Fault-timeline tags, indexed by `FaultEventKind as usize`.
+    fault: [TagId; 5],
+    tick_sample: TagId,
+    wd_temp_band: TagId,
+    wd_queue_depth: TagId,
+    wd_ledger_drift: TagId,
+    k_job: TagId,
+    k_gops: TagId,
+    k_cluster: TagId,
+    k_worker: TagId,
+    k_from: TagId,
+    k_to: TagId,
+    k_attempts: TagId,
+    k_temp_c: TagId,
+    k_lo_c: TagId,
+    k_hi_c: TagId,
+    k_queued: TagId,
+    k_limit: TagId,
+    k_usable_cores: TagId,
+    k_heat_demand: TagId,
+    k_arrived: TagId,
+    k_accounted: TagId,
+}
+
+impl Tags {
+    fn intern(r: &mut FlightRecorder) -> Self {
+        Tags {
+            job_span: [
+                r.tag("job.dcc"),
+                r.tag("job.edge_direct"),
+                r.tag("job.edge_indirect"),
+            ],
+            job_reject: r.tag("job.reject"),
+            job_retry: r.tag("job.retry"),
+            job_abandon: r.tag("job.abandon"),
+            job_expire: r.tag("job.expire"),
+            peak_preempt: r.tag("peak.preempt"),
+            peak_offload_vertical: r.tag("peak.offload_vertical"),
+            peak_offload_horizontal: r.tag("peak.offload_horizontal"),
+            peak_delay: r.tag("peak.delay"),
+            fault: FaultEventKind::ALL.map(|k| r.tag(&format!("fault.{}", k.label()))),
+            tick_sample: r.tag("tick.sample"),
+            wd_temp_band: r.tag("watchdog.temp_band"),
+            wd_queue_depth: r.tag("watchdog.queue_depth"),
+            wd_ledger_drift: r.tag("watchdog.ledger_drift"),
+            k_job: r.tag("job"),
+            k_gops: r.tag("gops"),
+            k_cluster: r.tag("cluster"),
+            k_worker: r.tag("worker"),
+            k_from: r.tag("from"),
+            k_to: r.tag("to"),
+            k_attempts: r.tag("attempts"),
+            k_temp_c: r.tag("temp_c"),
+            k_lo_c: r.tag("lo_c"),
+            k_hi_c: r.tag("hi_c"),
+            k_queued: r.tag("queued"),
+            k_limit: r.tag("limit"),
+            k_usable_cores: r.tag("usable_cores"),
+            k_heat_demand: r.tag("heat_demand"),
+            k_arrived: r.tag("arrived"),
+            k_accounted: r.tag("accounted"),
+        }
+    }
+}
+
 /// The assembled platform (a `simcore::Model`).
 pub struct Platform {
     config: PlatformConfig,
@@ -130,6 +223,12 @@ pub struct Platform {
     /// Finish-event handles of running local jobs, for preemption.
     running_events: RunningEvents,
     pub stats: PlatformStats,
+    /// Flight recorder (plus the phase profiler reclaimed from the
+    /// engine after the run). Only ever observes: a disabled recorder
+    /// leaves the run bit-identical to a build without telemetry.
+    pub telemetry: Telemetry,
+    /// Pre-interned telemetry tag ids.
+    tags: Tags,
     // Link models (uncongested, analytic).
     lan: Link,
     device_link: Link,
@@ -166,6 +265,9 @@ pub struct PlatformOutcome {
     pub end: SimTime,
     /// High-water mark of concurrently pending events in the engine.
     pub peak_queue: usize,
+    /// Flight recorder and phase profiler of the run (both empty and
+    /// disabled unless the config turned telemetry on).
+    pub telemetry: Telemetry,
 }
 
 impl Platform {
@@ -212,6 +314,8 @@ impl Platform {
                 }
             }
         }
+        let mut telemetry = Telemetry::from_config(config.telemetry);
+        let tags = Tags::intern(&mut telemetry.recorder);
         Platform {
             config,
             weather,
@@ -220,6 +324,8 @@ impl Platform {
             datacenter,
             running_events: RunningEvents::new(n_worker_slots),
             stats: PlatformStats::new(),
+            telemetry,
+            tags,
             lan: Link::new(Protocol::EthernetLan),
             device_link: Link::new(Protocol::Wifi),
             fiber: Link::new(Protocol::Fiber),
@@ -250,12 +356,13 @@ impl Platform {
         let (model, summary) = engine.run();
         let mut p = model.p;
         p.finalise_energy(summary.end_time);
-        p.finalise_accounting();
+        p.finalise_accounting(summary.end_time);
         PlatformOutcome {
             stats: p.stats,
             events: summary.events,
             end: summary.end_time,
             peak_queue: summary.peak_queue,
+            telemetry: p.telemetry,
         }
     }
 
@@ -378,6 +485,45 @@ impl Platform {
         }
     }
 
+    /// Record a fault-timeline entry in both the stats and the flight
+    /// recorder (cluster group's track; lane = worker when known).
+    fn record_fault_event(
+        &mut self,
+        t: SimTime,
+        kind: FaultEventKind,
+        cluster: usize,
+        worker: Option<usize>,
+    ) {
+        self.stats.push_fault_event(t, kind, cluster, worker);
+        if self.telemetry.is_enabled() {
+            let mut fields = FieldSet::from([(self.tags.k_cluster, Value::U64(cluster as u64))]);
+            if let Some(w) = worker {
+                fields.push(self.tags.k_worker, Value::U64(w as u64));
+            }
+            self.telemetry.recorder.instant(
+                t,
+                self.tags.fault[kind as usize],
+                Track::new(cluster as u32 + 1, worker.map_or(0, |w| w as u32)),
+                fields,
+            );
+        }
+    }
+
+    /// Record a terminal/retry job instant (reject, retry, abandon,
+    /// expire) on the platform track.
+    fn record_job_instant(&mut self, t: SimTime, tag: TagId, job: &Job, attempts: Option<u32>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut fields = FieldSet::from([(self.tags.k_job, Value::U64(job.id.0))]);
+        if let Some(a) = attempts {
+            fields.push(self.tags.k_attempts, Value::U64(u64::from(a)));
+        }
+        self.telemetry
+            .recorder
+            .instant(t, tag, Track::PLATFORM, fields);
+    }
+
     /// Record a completion.
     fn record_completion(&mut self, now: SimTime, job: &Job, venue: Venue) {
         if let Some(rt) = self.faults.as_mut() {
@@ -479,6 +625,7 @@ impl Platform {
             .filter(|p| p.enabled())
         else {
             self.stats.edge_rejected.inc();
+            self.record_job_instant(now, self.tags.job_reject, &job, None);
             return;
         };
         let attempts = self
@@ -500,6 +647,7 @@ impl Platform {
                     .retry_book
                     .record_attempt(job.id);
                 self.stats.jobs_retried.inc();
+                self.record_job_instant(now, self.tags.job_retry, &job, Some(attempts + 1));
                 self.retries_pending += 1;
                 sched.at(due, Ev::Retry { job });
                 return;
@@ -512,8 +660,10 @@ impl Platform {
                 .retry_book
                 .forget(job.id);
             self.stats.jobs_abandoned.inc();
+            self.record_job_instant(now, self.tags.job_abandon, &job, Some(attempts));
         } else {
             self.stats.edge_rejected.inc();
+            self.record_job_instant(now, self.tags.job_reject, &job, None);
         }
     }
 
@@ -559,6 +709,7 @@ impl Platform {
     /// Handle a job that found its home cluster full: consult the peak
     /// policy and carry out the action.
     fn handle_full(&mut self, now: SimTime, home: usize, job: Job, sched: &mut Scheduler<Ev>) {
+        let t_offload = sched.profiler.start();
         let outdoor = self.outdoor(now);
         let local = self.clusters[home].load();
         // A severed inter-cluster fiber hides every sibling: horizontal
@@ -573,6 +724,39 @@ impl Platform {
                 .collect()
         };
         let action = self.config.peak_policy.decide(&job, &local, &siblings);
+        if self.telemetry.is_enabled() {
+            // Rejects get their instant from `reject_edge`/the DCC
+            // counter below; the other four decisions are recorded
+            // here on the home cluster's track.
+            let decided = match action {
+                PeakAction::Preempt => Some((
+                    self.tags.peak_preempt,
+                    FieldSet::from([(self.tags.k_cluster, Value::U64(home as u64))]),
+                )),
+                PeakAction::OffloadVertical => Some((
+                    self.tags.peak_offload_vertical,
+                    FieldSet::from([(self.tags.k_from, Value::U64(home as u64))]),
+                )),
+                PeakAction::OffloadHorizontal { target } => Some((
+                    self.tags.peak_offload_horizontal,
+                    FieldSet::from([
+                        (self.tags.k_from, Value::U64(home as u64)),
+                        (self.tags.k_to, Value::U64(target as u64)),
+                    ]),
+                )),
+                PeakAction::Delay => Some((
+                    self.tags.peak_delay,
+                    FieldSet::from([(self.tags.k_cluster, Value::U64(home as u64))]),
+                )),
+                PeakAction::Reject => None,
+            };
+            if let Some((tag, mut fields)) = decided {
+                fields.push(self.tags.k_job, Value::U64(job.id.0));
+                self.telemetry
+                    .recorder
+                    .instant(now, tag, Track::new(home as u32 + 1, 0), fields);
+            }
+        }
         match action {
             PeakAction::Preempt => {
                 if let Some((worker, victims)) = self.clusters[home].preempt_for(now, &job) {
@@ -644,6 +828,7 @@ impl Platform {
                 }
             }
         }
+        sched.profiler.stop(Phase::Offload, t_offload);
     }
 
     fn enqueue(&mut self, cluster: usize, job: Job) {
@@ -667,8 +852,7 @@ impl Platform {
         sched: &mut Scheduler<Ev>,
     ) {
         self.stats.worker_failures.inc();
-        self.stats
-            .push_fault_event(now, FaultEventKind::WorkerFail, cluster, Some(worker));
+        self.record_fault_event(now, FaultEventKind::WorkerFail, cluster, Some(worker));
         let slot = self.wslot(cluster, worker);
         if self.down_since[slot].is_none() {
             self.down_since[slot] = Some(now);
@@ -707,6 +891,7 @@ impl Platform {
         if let Some(d) = job.absolute_deadline() {
             if now >= d {
                 self.stats.edge_expired.inc();
+                self.record_job_instant(now, self.tags.job_expire, &job, None);
                 if let Some(rt) = self.faults.as_mut() {
                     rt.retry_book.forget(job.id);
                 }
@@ -737,8 +922,7 @@ impl Platform {
             self.stats.mttr_s.observe(dt);
             self.stats.repair_s.observe(dt);
         }
-        self.stats
-            .push_fault_event(now, FaultEventKind::WorkerRepair, cluster, Some(worker));
+        self.record_fault_event(now, FaultEventKind::WorkerRepair, cluster, Some(worker));
         self.clusters[cluster].worker_mut(worker).repair();
     }
 
@@ -793,6 +977,7 @@ impl Platform {
         let outdoor = self.outdoor(now);
         for job in self.clusters[cluster].take_expired(now) {
             self.stats.edge_expired.inc();
+            self.record_job_instant(now, self.tags.job_expire, &job, None);
             if let Some(rt) = self.faults.as_mut() {
                 rt.retry_book.forget(job.id);
             }
@@ -829,8 +1014,11 @@ impl Platform {
 
     /// Close the work-conservation ledger: everything still queued,
     /// running, in the datacenter, or awaiting a retry is in-flight;
-    /// arrivals must equal terminal outcomes plus in-flight.
-    fn finalise_accounting(&mut self) {
+    /// arrivals must equal terminal outcomes plus in-flight. Drift is
+    /// recorded as a `watchdog.ledger_drift` event (the debug asserts
+    /// below still hold in debug builds; release runs land with their
+    /// evidence instead of dying).
+    fn finalise_accounting(&mut self, end: SimTime) {
         let mut edge = self.retries_pending;
         let mut dcc = 0u64;
         for c in &self.clusters {
@@ -845,6 +1033,31 @@ impl Platform {
         }
         self.stats.edge_in_flight_end = edge;
         self.stats.dcc_in_flight_end = dcc;
+        if self.telemetry.is_enabled() {
+            let ledgers = [
+                (
+                    self.stats.edge_arrived.get(),
+                    self.stats.edge_terminal() + edge,
+                ),
+                (
+                    self.stats.dcc_arrived.get(),
+                    self.stats.dcc_completed.get() + self.stats.dcc_rejected.get() + dcc,
+                ),
+            ];
+            for (arrived, accounted) in ledgers {
+                if arrived != accounted {
+                    self.telemetry.recorder.instant(
+                        end,
+                        self.tags.wd_ledger_drift,
+                        Track::PLATFORM,
+                        [
+                            (self.tags.k_arrived, Value::U64(arrived)),
+                            (self.tags.k_accounted, Value::U64(accounted)),
+                        ],
+                    );
+                }
+            }
+        }
         debug_assert_eq!(
             self.stats.edge_arrived.get(),
             self.stats.edge_terminal() + edge,
@@ -867,6 +1080,9 @@ impl Model for PlatformModel {
     type Event = Ev;
 
     fn init(&mut self, sched: &mut Scheduler<Ev>) {
+        if self.p.config.telemetry.enabled {
+            sched.profiler = PhaseProfiler::enabled();
+        }
         for job in &self.jobs {
             if job.arrival < sched.horizon() {
                 sched.at(job.arrival, Ev::Arrival(*job));
@@ -922,6 +1138,18 @@ impl Model for PlatformModel {
                     .expect("finished job had a tracked event");
                 self.p.clusters[cluster].finish(worker, job.id);
                 self.p.record_completion(now, &job, venue);
+                if self.p.telemetry.is_enabled() && self.p.config.telemetry.spans {
+                    self.p.telemetry.recorder.span(
+                        job.arrival,
+                        now,
+                        self.p.tags.job_span[flow_ix(job.flow)],
+                        Track::new(cluster as u32 + 1, worker as u32),
+                        [
+                            (self.p.tags.k_job, Value::U64(job.id.0)),
+                            (self.p.tags.k_gops, Value::F64(job.work_gops)),
+                        ],
+                    );
+                }
                 self.p.drain_cluster(now, cluster, sched);
             }
             Ev::FinishDc { job } => {
@@ -932,6 +1160,21 @@ impl Model for PlatformModel {
                     .expect("DC event without a DC")
                     .complete(now, job.id);
                 self.p.record_completion(now, &job, Venue::Datacenter);
+                if self.p.telemetry.is_enabled() && self.p.config.telemetry.spans {
+                    // The datacenter renders as the group after the
+                    // last cluster.
+                    let dc_group = self.p.config.n_clusters as u32 + 1;
+                    self.p.telemetry.recorder.span(
+                        job.arrival,
+                        now,
+                        self.p.tags.job_span[flow_ix(job.flow)],
+                        Track::new(dc_group, 0),
+                        [
+                            (self.p.tags.k_job, Value::U64(job.id.0)),
+                            (self.p.tags.k_gops, Value::F64(job.work_gops)),
+                        ],
+                    );
+                }
                 for (j, finish) in started {
                     sched.at(finish, Ev::FinishDc { job: j });
                 }
@@ -942,6 +1185,7 @@ impl Model for PlatformModel {
                 if self.p.clusters[cluster].worker(worker).is_failed() {
                     return; // already dark (overlapping outage owns it)
                 }
+                let t_fault = sched.profiler.start();
                 self.p.fail_worker(now, cluster, worker, sched);
                 let mut delay = self.p.effective_repair;
                 let quarantine = self
@@ -952,7 +1196,7 @@ impl Model for PlatformModel {
                 if let (Some(q), Some(rt)) = (quarantine, self.p.faults.as_mut()) {
                     if rt.flap.record(slot, now, &q) {
                         self.p.stats.quarantines.inc();
-                        self.p.stats.push_fault_event(
+                        self.p.record_fault_event(
                             now,
                             FaultEventKind::Quarantine,
                             cluster,
@@ -965,6 +1209,7 @@ impl Model for PlatformModel {
                 self.p.repair_events[slot] = Some(ev);
                 // Orphaned work may fit elsewhere right away.
                 self.p.drain_cluster(now, cluster, sched);
+                sched.profiler.stop(Phase::FaultRuntime, t_fault);
             }
             Ev::WorkerRepair { cluster, worker } => {
                 let slot = self.p.wslot(cluster, worker);
@@ -980,11 +1225,14 @@ impl Model for PlatformModel {
                 if !self.p.clusters[cluster].worker(worker).is_failed() {
                     return; // stale: an intervening restoration already repaired it
                 }
+                let t_fault = sched.profiler.start();
                 self.p.repair_worker(now, cluster, worker);
                 self.p.schedule_next_failure(cluster, worker, now, sched);
                 self.p.drain_cluster(now, cluster, sched);
+                sched.profiler.stop(Phase::FaultRuntime, t_fault);
             }
             Ev::ClusterDown { outage } => {
+                let t_fault = sched.profiler.start();
                 let c = {
                     let rt = self.p.faults.as_ref().expect("outage implies runtime");
                     rt.plan().cluster_outages[outage].cluster
@@ -992,8 +1240,7 @@ impl Model for PlatformModel {
                 self.p.faults.as_mut().expect("checked").cluster_dark[c] = true;
                 self.p.stats.cluster_outages.inc();
                 self.p
-                    .stats
-                    .push_fault_event(now, FaultEventKind::ClusterDown, c, None);
+                    .record_fault_event(now, FaultEventKind::ClusterDown, c, None);
                 for w in 0..self.p.config.workers_per_cluster {
                     let slot = self.p.wslot(c, w);
                     if let Some(ev) = self.p.fail_events[slot].take() {
@@ -1004,6 +1251,7 @@ impl Model for PlatformModel {
                     }
                 }
                 self.p.drain_cluster(now, c, sched);
+                sched.profiler.stop(Phase::FaultRuntime, t_fault);
             }
             Ev::ClusterUp { outage } => {
                 let (c, still_dark) =
@@ -1019,10 +1267,10 @@ impl Model for PlatformModel {
                 if still_dark {
                     return; // an overlapping outage keeps the building down
                 }
+                let t_fault = sched.profiler.start();
                 self.p.faults.as_mut().expect("checked").cluster_dark[c] = false;
                 self.p
-                    .stats
-                    .push_fault_event(now, FaultEventKind::ClusterUp, c, None);
+                    .record_fault_event(now, FaultEventKind::ClusterUp, c, None);
                 for w in 0..self.p.config.workers_per_cluster {
                     if self.p.clusters[c].worker(w).is_failed() {
                         let slot = self.p.wslot(c, w);
@@ -1034,9 +1282,13 @@ impl Model for PlatformModel {
                     }
                 }
                 self.p.drain_cluster(now, c, sched);
+                sched.profiler.stop(Phase::FaultRuntime, t_fault);
             }
             Ev::ControlTick => {
+                let t_tick = sched.profiler.start();
+                let t_fault = sched.profiler.start();
                 self.p.apply_sensor_states(now);
+                sched.profiler.stop(Phase::FaultRuntime, t_fault);
                 let outdoor = self.p.outdoor(now);
                 let mut temp = 0.0;
                 let mut usable = 0usize;
@@ -1045,9 +1297,11 @@ impl Model for PlatformModel {
                 // Stage every worker's pending interval, then advance
                 // the entire fleet's thermals in ONE sweep over the SoA
                 // batch — the district-scale fast path.
+                let t_stage = sched.profiler.start();
                 for c in &self.p.clusters {
                     c.stage_thermal(now, &mut self.p.rooms);
                 }
+                sched.profiler.stop(Phase::StageThermal, t_stage);
                 // Boiler backfill (§II-B): failed workers' rooms were
                 // staged at 0 W; restage them with boiler heat so the
                 // §IV comfort guarantee holds while boards are dark.
@@ -1064,7 +1318,9 @@ impl Model for PlatformModel {
                     }
                     self.p.stats.boiler_backfill_kwh += kwh;
                 }
+                let t_step = sched.profiler.start();
                 self.p.rooms.step_staged(outdoor);
+                sched.profiler.stop(Phase::StepStaged, t_step);
                 for i in 0..n {
                     let (t, u, d) = self.p.clusters[i].finish_control_tick(now, &self.p.rooms);
                     temp += t;
@@ -1075,9 +1331,62 @@ impl Model for PlatformModel {
                 self.p
                     .stats
                     .sample_tick(now, temp / n as f64, usable as f64, demand / n as f64);
+                if self.p.telemetry.is_enabled() {
+                    let mean_temp = temp / n as f64;
+                    let tags = &self.p.tags;
+                    self.p.telemetry.recorder.instant(
+                        now,
+                        tags.tick_sample,
+                        Track::PLATFORM,
+                        [
+                            (tags.k_temp_c, Value::F64(mean_temp)),
+                            (tags.k_usable_cores, Value::U64(usable as u64)),
+                            (tags.k_heat_demand, Value::F64(demand / n as f64)),
+                        ],
+                    );
+                    // Invariant watchdogs: observe, record, never panic.
+                    let wd = self.p.config.watchdogs;
+                    if mean_temp < wd.temp_lo_c || mean_temp > wd.temp_hi_c {
+                        self.p.telemetry.recorder.instant(
+                            now,
+                            tags.wd_temp_band,
+                            Track::PLATFORM,
+                            [
+                                (tags.k_temp_c, Value::F64(mean_temp)),
+                                (tags.k_lo_c, Value::F64(wd.temp_lo_c)),
+                                (tags.k_hi_c, Value::F64(wd.temp_hi_c)),
+                            ],
+                        );
+                    }
+                    let queued: usize = self
+                        .p
+                        .clusters
+                        .iter()
+                        .map(|c| c.edge_queue.len() + c.dcc_queue.len())
+                        .sum();
+                    if queued > wd.max_queued {
+                        self.p.telemetry.recorder.instant(
+                            now,
+                            tags.wd_queue_depth,
+                            Track::PLATFORM,
+                            [
+                                (tags.k_queued, Value::U64(queued as u64)),
+                                (tags.k_limit, Value::U64(wd.max_queued as u64)),
+                            ],
+                        );
+                    }
+                }
                 sched.after(self.p.config.control_period, Ev::ControlTick);
+                sched.profiler.stop(Phase::ControlTick, t_tick);
             }
         }
+    }
+
+    fn finish(&mut self, sched: &mut Scheduler<Ev>) {
+        // Reclaim the engine's phase accumulators so the run report can
+        // render them after the engine is consumed.
+        let prof = std::mem::take(&mut sched.profiler);
+        self.p.telemetry.profiler.merge(&prof);
     }
 }
 

@@ -256,7 +256,71 @@ impl PlatformStats {
                 format!("{:.2}", self.boiler_backfill_kwh),
             ));
         }
+        if self.fault_timeline_dropped.get() > 0 {
+            // The timeline silently losing entries would make post-hoc
+            // chaos analysis lie; surface the truncation loudly.
+            rows.push((
+                "fault timeline dropped".into(),
+                format!(
+                    "{} (WARNING: timeline truncated at {} entries)",
+                    self.fault_timeline_dropped.get(),
+                    FAULT_TIMELINE_CAP
+                ),
+            ));
+        }
         rows
+    }
+
+    /// Every monotonic counter as stable `(name, value)` rows, in a
+    /// fixed order — the exporters (Prometheus text, JSONL run report)
+    /// iterate this so their output is byte-reproducible.
+    pub fn counter_rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("edge_arrived", self.edge_arrived.get()),
+            ("edge_completed", self.edge_completed.get()),
+            ("edge_deadline_met", self.edge_deadline_met.get()),
+            ("edge_rejected", self.edge_rejected.get()),
+            ("edge_expired", self.edge_expired.get()),
+            ("dcc_arrived", self.dcc_arrived.get()),
+            ("dcc_completed", self.dcc_completed.get()),
+            ("dcc_rejected", self.dcc_rejected.get()),
+            ("jobs_abandoned", self.jobs_abandoned.get()),
+            ("jobs_requeued", self.jobs_requeued.get()),
+            ("jobs_retried", self.jobs_retried.get()),
+            ("worker_failures", self.worker_failures.get()),
+            ("quarantines", self.quarantines.get()),
+            ("cluster_outages", self.cluster_outages.get()),
+            ("sensor_faulted_ticks", self.sensor_faulted_ticks.get()),
+            ("preemptions", self.preemptions.get()),
+            ("offload_vertical", self.offload_vertical.get()),
+            ("offload_horizontal", self.offload_horizontal.get()),
+            ("delays", self.delays.get()),
+            ("fault_timeline_dropped", self.fault_timeline_dropped.get()),
+            ("edge_in_flight_end", self.edge_in_flight_end),
+            ("dcc_in_flight_end", self.dcc_in_flight_end),
+        ]
+    }
+
+    /// Derived/continuous metrics as stable `(name, value)` rows, in a
+    /// fixed order (companion of [`PlatformStats::counter_rows`]).
+    pub fn gauge_rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("edge_attainment", self.edge_attainment()),
+            ("edge_response_ms_p50", self.edge_response_ms.p50()),
+            ("edge_response_ms_p99", self.edge_response_ms.p99()),
+            ("dcc_slowdown_mean", self.dcc_slowdown.mean()),
+            ("edge_work_gops", self.edge_work_gops),
+            ("dcc_work_gops", self.dcc_work_gops),
+            ("dc_work_gops", self.dc_work_gops),
+            ("dc_share", self.dc_share()),
+            ("wasted_core_s", self.wasted_core_s),
+            ("boiler_backfill_kwh", self.boiler_backfill_kwh),
+            ("df_total_kwh", self.df_total_kwh),
+            ("df_compute_kwh", self.df_compute_kwh),
+            ("dc_it_kwh", self.dc_it_kwh),
+            ("dc_facility_kwh", self.dc_facility_kwh),
+            ("pue", self.pue()),
+        ]
     }
 
     /// Combined platform PUE: (all energy) / (useful IT energy). DF

@@ -19,6 +19,18 @@ pub enum LinkClass {
     Wan,
 }
 
+impl LinkClass {
+    /// Stable lowercase name for telemetry and run reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinkClass::Device => "device",
+            LinkClass::Lan => "lan",
+            LinkClass::Fiber => "fiber",
+            LinkClass::Wan => "wan",
+        }
+    }
+}
+
 /// A multiplicative service degradation applied to a [`Link`] while a
 /// fault window is active: latency is stretched, bandwidth is derated.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -52,6 +52,19 @@ pub enum PeakAction {
     Reject,
 }
 
+impl PeakAction {
+    /// Stable snake_case name for telemetry and run reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PeakAction::Preempt => "preempt",
+            PeakAction::OffloadVertical => "offload_vertical",
+            PeakAction::OffloadHorizontal { .. } => "offload_horizontal",
+            PeakAction::Delay => "delay",
+            PeakAction::Reject => "reject",
+        }
+    }
+}
+
 /// A peak-management strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum PeakPolicy {
@@ -68,6 +81,19 @@ pub enum PeakPolicy {
     HorizontalFirst { max_sibling_util: f64 },
     /// Preempt for edge, vertical for DCC — the hybrid §III-A sketches.
     Hybrid,
+}
+
+impl PeakPolicy {
+    /// Stable snake_case name for telemetry and run reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PeakPolicy::AlwaysDelay => "always_delay",
+            PeakPolicy::PreemptFirst => "preempt_first",
+            PeakPolicy::VerticalFirst => "vertical_first",
+            PeakPolicy::HorizontalFirst { .. } => "horizontal_first",
+            PeakPolicy::Hybrid => "hybrid",
+        }
+    }
 }
 
 impl PeakPolicy {

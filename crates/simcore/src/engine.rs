@@ -3,6 +3,7 @@
 //! schedule further events through the [`Scheduler`] facade.
 
 use crate::event::{EventId, EventQueue};
+use crate::telemetry::{Phase, PhaseProfiler, HOT_PHASE_STRIDE};
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event model. Implementations own all simulation state and
@@ -16,6 +17,11 @@ pub trait Model {
 
     /// Called once when the engine starts, to seed initial events.
     fn init(&mut self, _sched: &mut Scheduler<Self::Event>) {}
+
+    /// Called once after the main loop ends, before the engine returns.
+    /// The place to reclaim per-run collectors living on the scheduler
+    /// (e.g. [`Scheduler::profiler`]).
+    fn finish(&mut self, _sched: &mut Scheduler<Self::Event>) {}
 }
 
 /// Scheduling facade handed to the model during event handling.
@@ -24,6 +30,10 @@ pub struct Scheduler<E> {
     queue: EventQueue<E>,
     horizon: SimTime,
     stopped: bool,
+    /// Wall-clock phase profiler. Disabled (one branch per event) until
+    /// a model enables it from `init`; the engine itself times the
+    /// event-pop and dispatch phases, models time their own sub-phases.
+    pub profiler: PhaseProfiler,
 }
 
 impl<E> Scheduler<E> {
@@ -33,6 +43,7 @@ impl<E> Scheduler<E> {
             queue: EventQueue::new(),
             horizon,
             stopped: false,
+            profiler: PhaseProfiler::disabled(),
         }
     }
 
@@ -145,6 +156,11 @@ impl<M: Model> Engine<M> {
             if events >= self.event_budget {
                 break StopReason::EventBudget;
             }
+            // Per-event phases are sampled: two clock reads per event
+            // would dominate the loop, so only one event per stride
+            // pays them (see `HOT_PHASE_STRIDE`).
+            let sample = events & (HOT_PHASE_STRIDE - 1) == 0;
+            let t_pop = self.sched.profiler.start_if(sample);
             let Some(next) = self.sched.queue.peek_time() else {
                 break StopReason::QueueEmpty;
             };
@@ -152,11 +168,15 @@ impl<M: Model> Engine<M> {
                 break StopReason::HorizonReached;
             }
             let (t, ev) = self.sched.queue.pop().expect("peeked event vanished");
+            self.sched.profiler.stop(Phase::EventPop, t_pop);
             debug_assert!(t >= self.sched.now, "time went backwards");
             self.sched.now = t;
+            let t_dispatch = self.sched.profiler.start_if(sample);
             self.model.handle(t, ev, &mut self.sched);
+            self.sched.profiler.stop(Phase::Dispatch, t_dispatch);
             events += 1;
         };
+        self.model.finish(&mut self.sched);
         let end_time = match reason {
             StopReason::HorizonReached => self.sched.horizon,
             _ => self.sched.now,
@@ -305,6 +325,65 @@ mod tests {
         .run();
         assert!(!m.cancelled_fired);
         assert_eq!(s.events, 1);
+    }
+
+    /// A model that switches the scheduler's profiler on in `init` and
+    /// reclaims it in `finish` — the pattern the platform uses.
+    struct Profiled {
+        remaining: u32,
+        collected: Option<crate::telemetry::PhaseProfiler>,
+    }
+
+    impl Model for Profiled {
+        type Event = ();
+        fn init(&mut self, sched: &mut Scheduler<()>) {
+            sched.profiler = crate::telemetry::PhaseProfiler::enabled();
+            sched.after(SimDuration::SECOND, ());
+        }
+        fn handle(&mut self, _t: SimTime, _: (), sched: &mut Scheduler<()>) {
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                sched.after(SimDuration::SECOND, ());
+            }
+        }
+        fn finish(&mut self, sched: &mut Scheduler<()>) {
+            self.collected = Some(std::mem::take(&mut sched.profiler));
+        }
+    }
+
+    #[test]
+    fn engine_times_pop_and_dispatch_when_profiling() {
+        // Per-event phases are sampled one in HOT_PHASE_STRIDE, so run
+        // enough events for exactly two samples per phase.
+        let n = HOT_PHASE_STRIDE as u32 + 1;
+        let (m, s) = Engine::new(
+            Profiled {
+                remaining: n,
+                collected: None,
+            },
+            SimTime::from_secs(1_000),
+        )
+        .run();
+        assert_eq!(s.events, u64::from(n));
+        let prof = m.collected.expect("finish hook ran");
+        assert_eq!(prof.acc(Phase::Dispatch).count, 2);
+        assert_eq!(prof.acc(Phase::EventPop).count, 2);
+        assert!(prof.acc(Phase::Dispatch).total_ns > 0 || prof.acc(Phase::EventPop).total_ns > 0);
+    }
+
+    #[test]
+    fn profiler_defaults_to_disabled() {
+        let (_, _) = Engine::new(
+            Countdown {
+                remaining: 2,
+                fired_at: vec![],
+            },
+            SimTime::from_secs(100),
+        )
+        .run();
+        // No panic, no profiling: the default path records nothing.
+        let sched: Scheduler<()> = Scheduler::new(SimTime::from_secs(1));
+        assert!(!sched.profiler.is_enabled());
     }
 
     #[test]

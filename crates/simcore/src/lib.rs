@@ -18,6 +18,10 @@
 //!   intervals (the only place threads are used; each replication is an
 //!   independent, deterministic simulation).
 //! - [`report`]: plain-text table rendering used by the experiment harness.
+//! - [`telemetry`]: the flight recorder (interned tags, typed fields,
+//!   capped ring buffer), wall-clock phase profiler, and the export
+//!   back-ends (Chrome trace-event JSON, Prometheus text, JSON
+//!   validation) behind the run reporters.
 //!
 //! ## Determinism contract
 //!
@@ -33,12 +37,14 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, Model, Scheduler};
 pub use event::{legacy::LegacyEventQueue, EventQueue, SlabEventQueue};
 pub use rng::RngStreams;
+pub use telemetry::{Telemetry, TelemetryConfig};
 pub use time::{SimDuration, SimTime};
 
 /// Which future-event-list implementation the engine was built with

@@ -134,6 +134,25 @@ impl Histogram {
             .enumerate()
             .map(move |(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
     }
+
+    /// Coalesce the fine bins into at most `max_buckets` *cumulative*
+    /// `(le, count)` pairs — the shape Prometheus histograms expose.
+    /// Underflow counts toward every bucket (observations ≤ `lo` are ≤
+    /// any upper bound); overflow only reaches the implicit `+Inf`
+    /// bucket the exporter adds from `count()`.
+    pub fn cumulative_buckets(&self, max_buckets: usize) -> Vec<(f64, u64)> {
+        assert!(max_buckets > 0);
+        let group = self.bins.len().div_ceil(max_buckets);
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = Vec::with_capacity(max_buckets);
+        let mut cum = self.underflow;
+        for (i, chunk) in self.bins.chunks(group).enumerate() {
+            cum += chunk.iter().sum::<u64>();
+            let upper_bin = (i * group + chunk.len()) as f64;
+            out.push((self.lo + w * upper_bin, cum));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +213,24 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.p50() - whole.p50()).abs() < 1e-9);
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_buckets_coalesce_and_accumulate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        h.observe(-1.0); // underflow: ≤ every bound
+        h.observe(5.0);
+        h.observe(55.0);
+        h.observe(200.0); // overflow: only in the implicit +Inf
+        let b = h.cumulative_buckets(10);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], (10.0, 2), "underflow + the 5.0 sample");
+        assert_eq!(b[5], (60.0, 3));
+        assert_eq!(b[9].1, 3, "overflow is not in any finite bucket");
+        assert!(b.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        // Coarser than the bin count still covers the range.
+        let one = h.cumulative_buckets(1);
+        assert_eq!(one, vec![(100.0, 3)]);
     }
 
     #[test]

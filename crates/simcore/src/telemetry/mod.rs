@@ -1,0 +1,135 @@
+//! Flight-recorder telemetry and wall-clock phase profiling.
+//!
+//! The observability layer of the framework, in three pieces:
+//!
+//! - [`recorder`]: a capped ring-buffer **flight recorder** of typed,
+//!   tag-interned simulation events and sim-time spans. Week-long
+//!   district runs keep the last N events without ballooning; disabled
+//!   recorders cost one branch per call site.
+//! - [`profiler`]: a **phase profiler** accumulating wall-clock
+//!   histograms for the engine's hot-loop phases (event pop, dispatch,
+//!   thermal staging, …) through RAII guards or start/stop tokens.
+//! - [`export`]: format back-ends shared by the run exporters — JSON
+//!   escaping, Chrome trace-event JSON (Perfetto-loadable), Prometheus
+//!   text exposition, and a dependency-free JSON validator used by the
+//!   exporter tests and the CI telemetry leg.
+//!
+//! ## Inertness contract
+//!
+//! Telemetry must never perturb a simulation: nothing here draws from
+//! any RNG, touches simulation state, or feeds back into scheduling.
+//! A disabled [`FlightRecorder`]/[`PhaseProfiler`] reduces every call
+//! to a single branch, and an enabled one only *observes* — platform
+//! results are bit-identical either way (property-tested downstream).
+
+pub mod export;
+pub mod profiler;
+pub mod recorder;
+
+pub use profiler::{Phase, PhaseAcc, PhaseGuard, PhaseProfiler, PhaseTimer, HOT_PHASE_STRIDE};
+pub use recorder::{FieldSet, FlightRecorder, TagId, TelemetryEvent, Track, Value, MAX_FIELDS};
+
+use serde::{Deserialize, Serialize};
+
+/// Run-time telemetry switches (embedded in downstream platform
+/// configs; the default is fully disabled, the bit-identical mode).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch: flight recorder + phase profiler.
+    pub enabled: bool,
+    /// Ring-buffer capacity of the flight recorder (last N events are
+    /// kept; older ones are overwritten and counted as dropped). The
+    /// default keeps the ring's working set a few MB so steady-state
+    /// recording stays cache-resident — raise it for full-history
+    /// captures at the price of measurably more memory traffic.
+    pub capacity: usize,
+    /// Record per-job sim-time spans (the Chrome-trace timeline). Can
+    /// be switched off to keep only decision/fault/watchdog events.
+    pub spans: bool,
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off (the default; bit-identical to a build
+    /// without the layer).
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            capacity: 1 << 14,
+            spans: true,
+        }
+    }
+
+    /// Recorder + profiler on with the default ring capacity.
+    pub fn enabled() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Validate the switches (capacity must hold at least one event).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.capacity == 0 {
+            return Err("telemetry capacity must be positive when enabled".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The bundle a model carries through a run: one flight recorder plus
+/// the phase profiler collected from the engine afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    pub recorder: FlightRecorder,
+    pub profiler: PhaseProfiler,
+}
+
+impl Telemetry {
+    pub fn from_config(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            recorder: if cfg.enabled {
+                FlightRecorder::enabled(cfg.capacity)
+            } else {
+                FlightRecorder::disabled()
+            },
+            profiler: PhaseProfiler::disabled(),
+        }
+    }
+
+    pub fn disabled() -> Self {
+        Self::from_config(TelemetryConfig::disabled())
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disabled() {
+        let c = TelemetryConfig::default();
+        assert!(!c.enabled);
+        assert!(c.validate().is_ok());
+        assert!(!Telemetry::from_config(c).is_enabled());
+    }
+
+    #[test]
+    fn zero_capacity_rejected_only_when_enabled() {
+        let mut c = TelemetryConfig::enabled();
+        c.capacity = 0;
+        assert!(c.validate().is_err());
+        c.enabled = false;
+        assert!(c.validate().is_ok());
+    }
+}

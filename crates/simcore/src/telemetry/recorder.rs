@@ -1,0 +1,407 @@
+//! The capped ring-buffer flight recorder.
+//!
+//! Replaces string-allocating tracing on the hot path: tags and string
+//! field values are interned once into dense [`TagId`]s, field values
+//! are typed ([`Value`]), and storage is a fixed-capacity ring that
+//! keeps the *last* N events of a run (like an aircraft flight
+//! recorder, the recent past is what post-mortems need). Overwritten
+//! events are counted, never silently lost.
+
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Dense handle for an interned tag or string value. Ids are local to
+/// one recorder and assigned in interning order, so identically-driven
+/// runs produce identical ids (exports stay byte-reproducible).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(u32);
+
+impl TagId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A typed field value: no `String` allocation per record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    /// An interned string (intern once at setup, reference per event).
+    Str(TagId),
+}
+
+/// Which timeline lane an event belongs to. Downstream models map
+/// their topology onto (group, lane) — e.g. group 0 = platform,
+/// group `1 + c` = cluster `c` with one lane per worker — and the
+/// Chrome exporter renders groups as processes and lanes as threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Track {
+    pub group: u32,
+    pub lane: u32,
+}
+
+impl Track {
+    /// The platform-wide lane (control ticks, watchdogs, …).
+    pub const PLATFORM: Track = Track { group: 0, lane: 0 };
+
+    pub fn new(group: u32, lane: u32) -> Self {
+        Track { group, lane }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Bool(false)
+    }
+}
+
+impl Value {
+    /// Split into a discriminant byte and a 64-bit payload for the
+    /// packed [`FieldSet`] arrays.
+    #[inline]
+    fn pack(self) -> (u8, u64) {
+        match self {
+            Value::U64(v) => (0, v),
+            Value::I64(v) => (1, v as u64),
+            Value::F64(v) => (2, v.to_bits()),
+            Value::Bool(v) => (3, v as u64),
+            Value::Str(t) => (4, t.0 as u64),
+        }
+    }
+
+    #[inline]
+    fn unpack(kind: u8, bits: u64) -> Value {
+        match kind {
+            0 => Value::U64(bits),
+            1 => Value::I64(bits as i64),
+            2 => Value::F64(f64::from_bits(bits)),
+            3 => Value::Bool(bits != 0),
+            _ => Value::Str(TagId(bits as u32)),
+        }
+    }
+}
+
+/// Most fields an event can carry.
+pub const MAX_FIELDS: usize = 4;
+
+/// Inline field storage: recording an event never heap-allocates (the
+/// hot loop emits tens of thousands of events per simulated day, and a
+/// `Vec` per event dominated the recorder's cost). Values are packed
+/// into discriminant/payload arrays so the whole set is 56 bytes —
+/// the ring cycles through its buffer on long runs, and every byte of
+/// event width is steady-state memory traffic. Excess pushes past
+/// [`MAX_FIELDS`] are dropped in release builds and assert in debug.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FieldSet {
+    len: u8,
+    kinds: [u8; MAX_FIELDS],
+    keys: [TagId; MAX_FIELDS],
+    bits: [u64; MAX_FIELDS],
+}
+
+impl FieldSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, key: TagId, value: Value) {
+        debug_assert!((self.len as usize) < MAX_FIELDS, "too many event fields");
+        if (self.len as usize) < MAX_FIELDS {
+            let i = self.len as usize;
+            let (kind, bits) = value.pack();
+            self.kinds[i] = kind;
+            self.keys[i] = key;
+            self.bits[i] = bits;
+            self.len += 1;
+        }
+    }
+
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th key/value pair, if present.
+    pub fn get(&self, i: usize) -> Option<(TagId, Value)> {
+        (i < self.len as usize).then(|| (self.keys[i], Value::unpack(self.kinds[i], self.bits[i])))
+    }
+
+    /// Key/value pairs in push order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, Value)> + '_ {
+        (0..self.len as usize).map(|i| (self.keys[i], Value::unpack(self.kinds[i], self.bits[i])))
+    }
+}
+
+impl From<&[(TagId, Value)]> for FieldSet {
+    fn from(s: &[(TagId, Value)]) -> Self {
+        let mut f = FieldSet::new();
+        for &(k, v) in s {
+            f.push(k, v);
+        }
+        f
+    }
+}
+
+impl<const N: usize> From<[(TagId, Value); N]> for FieldSet {
+    fn from(s: [(TagId, Value); N]) -> Self {
+        FieldSet::from(&s[..])
+    }
+}
+
+impl<const N: usize> From<&[(TagId, Value); N]> for FieldSet {
+    fn from(s: &[(TagId, Value); N]) -> Self {
+        FieldSet::from(&s[..])
+    }
+}
+
+impl From<&FieldSet> for FieldSet {
+    fn from(s: &FieldSet) -> Self {
+        *s
+    }
+}
+
+/// One recorded event: an instant (`end == None`) or a sim-time span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    pub t: SimTime,
+    /// `Some(end)` makes this a span `[t, end]`.
+    pub end: Option<SimTime>,
+    pub tag: TagId,
+    pub track: Track,
+    pub fields: FieldSet,
+}
+
+/// Capped ring-buffer event recorder with a local tag interner.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    enabled: bool,
+    capacity: usize,
+    ring: Vec<TelemetryEvent>,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs capacity");
+        FlightRecorder {
+            enabled: true,
+            capacity,
+            // One upfront reservation: the ring never reallocates, so
+            // steady-state recording is a bare slot write.
+            ring: Vec::with_capacity(capacity),
+            ..Default::default()
+        }
+    }
+
+    /// A disabled recorder: every record call is a single branch.
+    pub fn disabled() -> Self {
+        FlightRecorder::default()
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Intern a tag (or string value), returning its stable id.
+    /// Idempotent; usable on disabled recorders too so models can
+    /// pre-intern their tag sets unconditionally at setup.
+    pub fn tag(&mut self, name: &str) -> TagId {
+        if let Some(&ix) = self.by_name.get(name) {
+            return TagId(ix);
+        }
+        let ix = u32::try_from(self.names.len()).expect("tag registry overflow");
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), ix);
+        TagId(ix)
+    }
+
+    /// The interned name of a tag.
+    pub fn tag_name(&self, tag: TagId) -> &str {
+        &self.names[tag.index()]
+    }
+
+    /// Look up an already-interned tag without interning.
+    pub fn find_tag(&self, name: &str) -> Option<TagId> {
+        self.by_name.get(name).map(|&ix| TagId(ix))
+    }
+
+    /// Record an instant event (no-op when disabled).
+    #[inline]
+    pub fn instant(&mut self, t: SimTime, tag: TagId, track: Track, fields: impl Into<FieldSet>) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TelemetryEvent {
+            t,
+            end: None,
+            tag,
+            track,
+            fields: fields.into(),
+        });
+    }
+
+    /// Record a sim-time span `[t0, t1]` (no-op when disabled).
+    #[inline]
+    pub fn span(
+        &mut self,
+        t0: SimTime,
+        t1: SimTime,
+        tag: TagId,
+        track: Track,
+        fields: impl Into<FieldSet>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(t1 >= t0, "span ends before it starts");
+        self.push(TelemetryEvent {
+            t: t0,
+            end: Some(t1),
+            tag,
+            track,
+            fields: fields.into(),
+        });
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TelemetryEvent) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate events oldest → newest (record order survives the wrap).
+    pub fn iter(&self) -> impl Iterator<Item = &TelemetryEvent> {
+        self.ring[self.head..]
+            .iter()
+            .chain(self.ring[..self.head].iter())
+    }
+
+    /// Count of held events with a given tag.
+    pub fn count_tag(&self, tag: TagId) -> usize {
+        self.iter().filter(|e| e.tag == tag).count()
+    }
+
+    /// Count of held events whose tag name starts with `prefix`
+    /// (watchdog summaries group on `"watchdog."`).
+    pub fn count_tag_prefix(&self, prefix: &str) -> usize {
+        self.iter()
+            .filter(|e| self.tag_name(e.tag).starts_with(prefix))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_times(r: &FlightRecorder) -> Vec<i64> {
+        r.iter().map(|e| e.t.as_micros()).collect()
+    }
+
+    #[test]
+    fn event_stays_within_its_cache_budget() {
+        // The ring cycles through capacity × this many bytes on long
+        // runs; widening the event is a real recorder slowdown.
+        assert!(std::mem::size_of::<TelemetryEvent>() <= 96);
+        assert!(std::mem::size_of::<FieldSet>() <= 56);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = FlightRecorder::disabled();
+        let tag = r.tag("x");
+        r.instant(SimTime::from_secs(1), tag, Track::PLATFORM, []);
+        assert!(r.is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_ordered() {
+        let mut r = FlightRecorder::enabled(4);
+        let a = r.tag("alpha");
+        let b = r.tag("beta");
+        assert_eq!(r.tag("alpha"), a);
+        assert!(a < b, "ids follow interning order");
+        assert_eq!(r.tag_name(b), "beta");
+        assert_eq!(r.find_tag("beta"), Some(b));
+        assert_eq!(r.find_tag("gamma"), None);
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_events() {
+        let mut r = FlightRecorder::enabled(3);
+        let tag = r.tag("t");
+        for i in 0..7 {
+            r.instant(SimTime::from_secs(i), tag, Track::PLATFORM, []);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        // Oldest → newest, post-wrap.
+        assert_eq!(ev_times(&r), vec![4_000_000, 5_000_000, 6_000_000]);
+    }
+
+    #[test]
+    fn spans_and_typed_fields_round_trip() {
+        let mut r = FlightRecorder::enabled(8);
+        let tag = r.tag("job.edge");
+        let k = r.tag("gops");
+        let v = r.tag("direct");
+        r.span(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            tag,
+            Track::new(1, 3),
+            [(k, Value::F64(1.5)), (k, Value::Str(v))],
+        );
+        let e = r.iter().next().unwrap();
+        assert_eq!(e.end, Some(SimTime::from_secs(2)));
+        assert_eq!(e.track, Track::new(1, 3));
+        assert_eq!(e.fields.len(), 2);
+        assert_eq!(e.fields.get(0), Some((k, Value::F64(1.5))));
+        assert_eq!(e.fields.get(1), Some((k, Value::Str(v))));
+        assert_eq!(e.fields.get(2), None);
+        let round: Vec<(TagId, Value)> = e.fields.iter().collect();
+        assert_eq!(round, vec![(k, Value::F64(1.5)), (k, Value::Str(v))]);
+        assert_eq!(r.count_tag(tag), 1);
+        assert_eq!(r.count_tag_prefix("job."), 1);
+        assert_eq!(r.count_tag_prefix("watchdog."), 0);
+    }
+}

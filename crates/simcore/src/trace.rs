@@ -83,18 +83,50 @@ impl Trace {
     }
 
     /// Export to CSV (`time_s,tag,key=value;key=value`).
+    ///
+    /// Field keys/values may contain the micro-format's own separators
+    /// (`=`, `;`) — those and backslashes are backslash-escaped — and a
+    /// cell containing `,`, `"`, or a newline is RFC-4180 quoted, so a
+    /// hostile value can never add columns or rows to the file.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_s,tag,fields\n");
         for r in &self.records {
-            let fields: Vec<String> = r.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let fields: Vec<String> = r
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{}={}", escape_kv(k), escape_kv(v)))
+                .collect();
             out.push_str(&format!(
                 "{:.6},{},{}\n",
                 r.t.as_secs_f64(),
-                r.tag,
-                fields.join(";")
+                csv_cell(&r.tag),
+                csv_cell(&fields.join(";"))
             ));
         }
         out
+    }
+}
+
+/// Backslash-escape the `key=value;…` micro-format separators.
+fn escape_kv(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '=' => out.push_str("\\="),
+            ';' => out.push_str("\\;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// RFC-4180 quote a cell when it would break the CSV structure.
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -135,5 +167,74 @@ mod tests {
         );
         let csv = tr.to_csv();
         assert!(csv.contains("3.000000,offload,from=c0;to=dc"));
+    }
+
+    /// Regression: separators and newlines inside field values used to
+    /// corrupt the CSV (extra columns/rows, ambiguous `k=v` splits).
+    #[test]
+    fn csv_escapes_hostile_field_values() {
+        let mut tr = Trace::enabled();
+        tr.record(
+            SimTime::from_secs(1),
+            "evil,tag",
+            &[
+                ("msg", "a,b;c=d".to_string()),
+                ("multi", "line1\nline2".to_string()),
+                ("quote", "say \"hi\"".to_string()),
+            ],
+        );
+        let csv = tr.to_csv();
+        // Still exactly one header and one data row…
+        let rows: Vec<&str> = parse_csv_rows(&csv);
+        assert_eq!(rows.len(), 2, "embedded newline split a row: {csv:?}");
+        // …and the data row still has exactly three columns.
+        assert_eq!(
+            split_unquoted_commas(rows[1]).len(),
+            3,
+            "row: {:?}",
+            rows[1]
+        );
+        // Micro-format separators in values are backslash-escaped.
+        assert!(csv.contains("a,b\\;c\\=d"), "kv escaping missing: {csv:?}");
+        assert!(csv.contains("\"\""), "inner quotes are doubled");
+    }
+
+    /// Split CSV text into logical rows, honouring quoted newlines.
+    fn parse_csv_rows(csv: &str) -> Vec<&str> {
+        let mut rows = Vec::new();
+        let mut start = 0;
+        let mut in_quotes = false;
+        for (i, c) in csv.char_indices() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                '\n' if !in_quotes => {
+                    rows.push(&csv[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if start < csv.len() {
+            rows.push(&csv[start..]);
+        }
+        rows
+    }
+
+    fn split_unquoted_commas(row: &str) -> Vec<&str> {
+        let mut cells = Vec::new();
+        let mut start = 0;
+        let mut in_quotes = false;
+        for (i, c) in row.char_indices() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => {
+                    cells.push(&row[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        cells.push(&row[start..]);
+        cells
     }
 }

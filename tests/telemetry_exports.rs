@@ -1,0 +1,192 @@
+//! Property and golden tests on the telemetry exporters (PR 4).
+//!
+//! The flight recorder's contract is twofold: **inert** (an enabled
+//! recorder never perturbs the simulation — no RNG draws, no model
+//! state) and **reproducible** (identical seeded runs render
+//! byte-identical export documents). On top of that, each exporter has
+//! a shape contract: JSONL lines all parse and cover the golden record
+//! schema, the Chrome trace is balanced and time-ordered, and every
+//! Prometheus sample parses with coherent cumulative buckets.
+
+use df3::df3_core::report::{ExportOptions, RunReport, WATCHDOGS};
+use df3::df3_core::{Platform, PlatformConfig, PlatformOutcome};
+use df3::simcore::telemetry::export::json;
+use df3::simcore::time::SimDuration;
+use df3::simcore::RngStreams;
+use df3::workloads::edge::{location_service_jobs, LocationServiceConfig};
+use df3::workloads::Flow;
+use proptest::prelude::*;
+
+fn tiny_config(hours: i64, seed: u64, telemetry: bool) -> PlatformConfig {
+    let mut cfg = PlatformConfig {
+        n_clusters: 2,
+        workers_per_cluster: 3,
+        horizon: SimDuration::from_hours(hours),
+        datacenter_cores: 32,
+        seed,
+        ..PlatformConfig::small_winter()
+    };
+    cfg.telemetry.enabled = telemetry;
+    cfg
+}
+
+fn run_tiny(hours: i64, seed: u64, telemetry: bool) -> (PlatformConfig, PlatformOutcome) {
+    let cfg = tiny_config(hours, seed, telemetry);
+    let jobs = location_service_jobs(
+        LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+        cfg.horizon,
+        &RngStreams::new(seed),
+        0,
+    );
+    let out = Platform::new(cfg.clone()).run(&jobs);
+    (cfg, out)
+}
+
+fn fingerprint(out: &PlatformOutcome) -> (u64, u64, u64, u64, u64, u64) {
+    let s = &out.stats;
+    (
+        out.events,
+        s.edge_completed.get(),
+        s.edge_terminal(),
+        s.df_total_kwh.to_bits(),
+        s.room_temp_c.summary().mean().to_bits(),
+        s.edge_response_ms.p99().to_bits(),
+    )
+}
+
+/// Pull every `"ts":<number>` out of a Chrome trace, in document order.
+fn trace_timestamps(trace: &str) -> Vec<f64> {
+    let mut ts = Vec::new();
+    let mut rest = trace;
+    while let Some(i) = rest.find("\"ts\":") {
+        rest = &rest[i + 5..];
+        let end = rest.find([',', '}']).expect("ts value terminated");
+        ts.push(rest[..end].trim().parse::<f64>().expect("ts is a number"));
+    }
+    ts
+}
+
+#[test]
+fn jsonl_golden_schema_is_stable() {
+    let (cfg, out) = run_tiny(3, 0x7E1E, true);
+    let report = RunReport::new("tiny", &cfg, &out);
+    let doc = report.jsonl(&ExportOptions::full());
+    json::validate_lines(&doc).expect("all lines parse");
+
+    // Golden schema: the record kinds and their discriminating keys.
+    // Extending the report is fine; silently dropping or renaming a
+    // record kind is a breaking change this test pins down.
+    let golden = [
+        ("\"record\":\"meta\"", "\"peak_policy\":"),
+        ("\"record\":\"meta\"", "\"seed\":"),
+        ("\"record\":\"meta\"", "\"link_faults\":"),
+        ("\"record\":\"counter\"", "\"name\":\"edge_arrived\""),
+        (
+            "\"record\":\"counter\"",
+            "\"name\":\"fault_timeline_dropped\"",
+        ),
+        ("\"record\":\"gauge\"", "\"name\":\"pue\""),
+        ("\"record\":\"gauge\"", "\"name\":\"edge_attainment\""),
+        ("\"record\":\"watchdog\"", "\"trips\":"),
+        ("\"record\":\"phase\"", "\"total_ns\":"),
+        ("\"record\":\"telemetry\"", "\"dropped\":"),
+    ];
+    for (kind, key) in golden {
+        assert!(
+            doc.lines().any(|l| l.contains(kind) && l.contains(key)),
+            "no {kind} line carrying {key}"
+        );
+    }
+    // Every watchdog appears exactly once.
+    for (name, _) in WATCHDOGS {
+        assert_eq!(
+            doc.lines()
+                .filter(|l| l.contains("\"record\":\"watchdog\"")
+                    && l.contains(&format!("\"name\":\"{name}\"")))
+                .count(),
+            1,
+            "watchdog {name} not reported exactly once"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_is_balanced_and_time_ordered() {
+    let (cfg, out) = run_tiny(3, 0x7E1E, true);
+    let report = RunReport::new("tiny", &cfg, &out);
+    let trace = report.chrome_trace_json();
+    json::validate(&trace).expect("trace is valid JSON");
+    let b = trace.matches("\"ph\":\"B\"").count();
+    let e = trace.matches("\"ph\":\"E\"").count();
+    assert_eq!(b, e, "unbalanced B/E span events");
+    assert!(b > 0, "expected job spans in a 3 h run");
+    let ts = trace_timestamps(&trace);
+    assert!(!ts.is_empty());
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "trace timestamps not monotonically non-decreasing"
+    );
+    assert!(ts.iter().all(|&t| t >= 0.0), "negative sim-time timestamp");
+}
+
+#[test]
+fn prometheus_snapshot_parses_with_coherent_buckets() {
+    let (cfg, out) = run_tiny(3, 0x7E1E, true);
+    let report = RunReport::new("tiny", &cfg, &out);
+    let prom = report.prometheus();
+    let mut last_bucket: Option<u64> = None;
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            last_bucket = None;
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line}"
+        );
+        if name.contains("_bucket{le=") {
+            let count: u64 = value.parse().expect("bucket counts are integers");
+            if let Some(prev) = last_bucket {
+                assert!(
+                    count >= prev,
+                    "cumulative bucket decreased: {line} after {prev}"
+                );
+            }
+            last_bucket = Some(count);
+        } else {
+            last_bucket = None;
+        }
+    }
+    assert!(prom.contains("df3_edge_response_ms_bucket{le=\"+Inf\"}"));
+    assert!(prom.contains("# TYPE df3_pue gauge"));
+}
+
+proptest! {
+    /// Telemetry is provably inert: an enabled recorder + profiler
+    /// never draws RNG and never touches model state, so the enabled
+    /// and disabled runs agree bit for bit on every sim statistic.
+    #[test]
+    fn enabled_telemetry_never_perturbs_the_run(seed in 1u64..1_000_000) {
+        let (_, off) = run_tiny(1, seed, false);
+        let (_, on) = run_tiny(1, seed, true);
+        prop_assert_eq!(fingerprint(&off), fingerprint(&on));
+        prop_assert!(off.telemetry.recorder.is_empty());
+        prop_assert!(!on.telemetry.recorder.is_empty());
+    }
+
+    /// Identical seeds render byte-identical deterministic exports:
+    /// recorder tag interning, ring order, and every formatter are
+    /// reproducible end to end.
+    #[test]
+    fn identical_seeds_render_byte_identical_exports(seed in 1u64..1_000_000) {
+        let (cfg_a, out_a) = run_tiny(1, seed, true);
+        let (cfg_b, out_b) = run_tiny(1, seed, true);
+        let a = RunReport::new("p", &cfg_a, &out_a);
+        let b = RunReport::new("p", &cfg_b, &out_b);
+        let opts = ExportOptions::deterministic();
+        prop_assert_eq!(a.jsonl(&opts), b.jsonl(&opts));
+        prop_assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        prop_assert_eq!(a.prometheus(), b.prometheus());
+    }
+}
