@@ -1,0 +1,371 @@
+//! `df3-experiments bench_pr5` — the PR 5 checkpoint/restore harness.
+//!
+//! PR 5's tentpole is the snapshot subsystem (`simcore::snapshot` +
+//! `Platform::snapshot/restore/restore_branch`): deterministic
+//! checkpoint, restore-in-a-fresh-process, and branch-from-snapshot
+//! fault sweeps that pay a shared warm-up once. This harness quantifies
+//! both contracts and writes `BENCH_PR5.json` at the repository root:
+//!
+//! 1. **Codec cost** — snapshot a warmed-up `district_winter` run:
+//!    encoded size, encode wall clock, decode+rebuild wall clock.
+//! 2. **Branch-sweep speedup** — N fault branches, each extending the
+//!    base plan with one derived cluster outage past the branch point.
+//!    Cold-start runs every branch from t = 0; branched restores the
+//!    shared warm-up snapshot once per branch and continues. Both sides
+//!    of every branch must agree **bit for bit** on the entire
+//!    snapshot-encoded stats block — the speedup is only admissible
+//!    because the results are provably interchangeable. The headline
+//!    claim (≥ 3× at 32 branches over a 72-hour warm-up) follows from
+//!    the arithmetic: cold pays N × (W + δ), branched pays W + N × δ
+//!    with δ ≪ W.
+
+use crate::bench_pr1::{jf, json_kv};
+use crate::snapshot_cli::branch_plan;
+use df3_core::{Platform, PlatformConfig, PlatformOutcome, RunTo};
+use simcore::report::Table;
+use simcore::snapshot::{Snapshot, SnapshotWriter};
+use simcore::time::{SimDuration, SimTime};
+use simcore::RngStreams;
+use std::time::Instant;
+use workloads::edge::{location_service_jobs, LocationServiceConfig};
+use workloads::job::JobStream;
+use workloads::Flow;
+
+/// Size and wall-clock cost of one district snapshot round trip.
+#[derive(Debug, Clone)]
+pub struct SnapshotCodecBench {
+    /// Sim hours warmed up before the snapshot was taken.
+    pub warm_hours: i64,
+    /// Events dispatched at the snapshot point.
+    pub events: u64,
+    /// Encoded snapshot size, bytes.
+    pub bytes: usize,
+    /// `PausedRun::snapshot_bytes` wall clock, ms.
+    pub encode_ms: f64,
+    /// `Platform::restore` (decode + platform rebuild + overlay), ms.
+    pub decode_ms: f64,
+}
+
+/// One branch-sweep size: cold-start versus branch-from-snapshot.
+#[derive(Debug, Clone)]
+pub struct BranchSweepBench {
+    pub branches: usize,
+    pub warm_hours: i64,
+    /// Sim hours each branch runs past the branch point.
+    pub branch_hours: i64,
+    /// Total wall clock for all cold-start runs, s.
+    pub cold_wall_s: f64,
+    /// Warm-up + snapshot + all restores + continuations, s.
+    pub branch_wall_s: f64,
+    /// `cold_wall_s / branch_wall_s`.
+    pub speedup: f64,
+    /// Every branch's full stats block matches its cold counterpart
+    /// bit for bit.
+    pub bit_identical: bool,
+}
+
+/// Everything PR 5's harness measures (serialised to `BENCH_PR5.json`).
+#[derive(Debug, Clone)]
+pub struct BenchPr5Report {
+    pub codec: SnapshotCodecBench,
+    pub sweeps: Vec<BranchSweepBench>,
+}
+
+fn district_config(hours: i64, seed: u64) -> PlatformConfig {
+    let mut cfg = PlatformConfig::district_winter();
+    cfg.horizon = SimDuration::from_hours(hours);
+    cfg.seed = seed;
+    cfg
+}
+
+fn canonical_jobs(cfg: &PlatformConfig) -> JobStream {
+    location_service_jobs(
+        LocationServiceConfig::map_serving(Flow::EdgeIndirect),
+        cfg.horizon,
+        &RngStreams::new(cfg.seed),
+        0,
+    )
+}
+
+/// The whole stats block, snapshot-encoded: two runs agree on these
+/// bytes iff they agree on every counter, histogram bucket, gauge, and
+/// fault-timeline entry down to the f64 bit pattern.
+fn stats_bits(o: &PlatformOutcome) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    o.stats.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Warm a district run to `warm_hours` and measure the codec both ways.
+pub fn codec_bench(warm_hours: i64, total_hours: i64, seed: u64) -> SnapshotCodecBench {
+    let cfg = district_config(total_hours, seed);
+    let jobs = canonical_jobs(&cfg);
+    let paused = match Platform::new(cfg.clone())
+        .run_to(&jobs, SimTime::ZERO + SimDuration::from_hours(warm_hours))
+    {
+        RunTo::Paused(p) => p,
+        RunTo::Finished(_) => unreachable!("warm-up point is inside the horizon"),
+    };
+    let events = paused.events();
+    let t0 = Instant::now();
+    let bytes = paused.snapshot_bytes();
+    let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    Platform::restore(cfg, &bytes).expect("own snapshot restores");
+    let decode_ms = t1.elapsed().as_secs_f64() * 1e3;
+    SnapshotCodecBench {
+        warm_hours,
+        events,
+        bytes: bytes.len(),
+        encode_ms,
+        decode_ms,
+    }
+}
+
+/// One sweep size: run `branches` fault branches cold and branched,
+/// verifying bit-identity per branch.
+pub fn sweep_bench(
+    branches: usize,
+    warm_hours: i64,
+    branch_hours: i64,
+    seed: u64,
+) -> BranchSweepBench {
+    let cfg = district_config(warm_hours + branch_hours, seed);
+    let warm = SimDuration::from_hours(warm_hours);
+    let base = cfg.faults.clone();
+    let jobs = canonical_jobs(&cfg);
+
+    // Branch side: one shared warm-up, then restore-and-continue per
+    // branch. The snapshot encode and every restore are part of the
+    // billed time — the speedup must survive the codec's own cost.
+    let t0 = Instant::now();
+    let paused = match Platform::new(cfg.clone()).run_to(&jobs, SimTime::ZERO + warm) {
+        RunTo::Paused(p) => p,
+        RunTo::Finished(_) => unreachable!("warm-up point is inside the horizon"),
+    };
+    let snapshot = paused.snapshot_bytes();
+    let mut branch_bits = Vec::with_capacity(branches);
+    for i in 0..branches {
+        let mut bcfg = cfg.clone();
+        bcfg.faults = branch_plan(&cfg, warm, i as u64);
+        let out = Platform::restore_branch(&base, bcfg, &snapshot)
+            .expect("derived branch plans are valid extensions")
+            .resume();
+        branch_bits.push(stats_bits(&out));
+    }
+    let branch_wall_s = t0.elapsed().as_secs_f64();
+
+    // Cold side: every branch from t = 0 under the identical plan.
+    let t1 = Instant::now();
+    let mut bit_identical = true;
+    for (i, bits) in branch_bits.iter().enumerate() {
+        let mut bcfg = cfg.clone();
+        bcfg.faults = branch_plan(&cfg, warm, i as u64);
+        let out = Platform::new(bcfg).run(&jobs);
+        bit_identical &= stats_bits(&out) == *bits;
+    }
+    let cold_wall_s = t1.elapsed().as_secs_f64();
+
+    BranchSweepBench {
+        branches,
+        warm_hours,
+        branch_hours,
+        cold_wall_s,
+        branch_wall_s,
+        speedup: if branch_wall_s > 0.0 {
+            cold_wall_s / branch_wall_s
+        } else {
+            0.0
+        },
+        bit_identical,
+    }
+}
+
+impl BenchPr5Report {
+    /// Hand-rolled JSON (the workspace deliberately has no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        json_kv(&mut s, "  ", "pr", "5".into(), false);
+        s.push_str("  \"snapshot_codec\": {\n");
+        let c = &self.codec;
+        json_kv(
+            &mut s,
+            "    ",
+            "warm_hours",
+            c.warm_hours.to_string(),
+            false,
+        );
+        json_kv(&mut s, "    ", "events", c.events.to_string(), false);
+        json_kv(&mut s, "    ", "bytes", c.bytes.to_string(), false);
+        json_kv(&mut s, "    ", "encode_ms", jf(c.encode_ms), false);
+        json_kv(&mut s, "    ", "decode_ms", jf(c.decode_ms), true);
+        s.push_str("  },\n");
+        s.push_str("  \"branch_sweeps\": [\n");
+        for (i, sw) in self.sweeps.iter().enumerate() {
+            s.push_str("    {\n");
+            json_kv(&mut s, "      ", "branches", sw.branches.to_string(), false);
+            json_kv(
+                &mut s,
+                "      ",
+                "warm_hours",
+                sw.warm_hours.to_string(),
+                false,
+            );
+            json_kv(
+                &mut s,
+                "      ",
+                "branch_hours",
+                sw.branch_hours.to_string(),
+                false,
+            );
+            json_kv(&mut s, "      ", "cold_wall_s", jf(sw.cold_wall_s), false);
+            json_kv(
+                &mut s,
+                "      ",
+                "branch_wall_s",
+                jf(sw.branch_wall_s),
+                false,
+            );
+            json_kv(&mut s, "      ", "speedup", jf(sw.speedup), false);
+            json_kv(
+                &mut s,
+                "      ",
+                "bit_identical",
+                sw.bit_identical.to_string(),
+                true,
+            );
+            s.push_str(if i + 1 == self.sweeps.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ]\n");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Run the full PR 5 harness. `fast` shrinks every stage to CI scale
+/// (the committed `BENCH_PR5.json` comes from a full release run).
+pub fn run(fast: bool) -> (BenchPr5Report, Table) {
+    let seed = 0xDF3_2018;
+    let (warm, delta, sizes): (i64, i64, &[usize]) = if fast {
+        (2, 1, &[2, 4])
+    } else {
+        (72, 6, &[8, 32, 128])
+    };
+    let codec = codec_bench(warm, warm + delta, seed);
+    let sweeps: Vec<BranchSweepBench> = sizes
+        .iter()
+        .map(|&n| sweep_bench(n, warm, delta, seed))
+        .collect();
+    let report = BenchPr5Report { codec, sweeps };
+
+    let mut table =
+        Table::new("PR 5 checkpoint/restore trajectory").headers(&["metric", "value", "note"]);
+    let c = &report.codec;
+    table.row(&[
+        "snapshot size".into(),
+        format!("{} B", c.bytes),
+        format!("district {} h warm-up, {} events", c.warm_hours, c.events),
+    ]);
+    table.row(&[
+        "encode / decode".into(),
+        format!("{:.1} / {:.1} ms", c.encode_ms, c.decode_ms),
+        "decode includes the full platform rebuild".into(),
+    ]);
+    for sw in &report.sweeps {
+        table.row(&[
+            format!("sweep × {}", sw.branches),
+            format!("{:.2}× speedup", sw.speedup),
+            format!(
+                "cold {:.1} s vs branched {:.1} s ({} h + {} h), bit-identical: {}",
+                sw.cold_wall_s,
+                sw.branch_wall_s,
+                sw.warm_hours,
+                sw.branch_hours,
+                if sw.bit_identical { "yes" } else { "NO" }
+            ),
+        ]);
+    }
+    (report, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_at_ci_scale() {
+        let c = codec_bench(1, 2, 0xDF3_2018);
+        assert!(c.bytes > 1_000, "district snapshot suspiciously small");
+        assert!(c.events > 0);
+        assert!(c.encode_ms >= 0.0 && c.decode_ms >= 0.0);
+    }
+
+    #[test]
+    fn branch_sweep_is_bit_identical_and_faster_than_cold() {
+        let sw = sweep_bench(3, 2, 1, 0xDF3_2018);
+        assert!(
+            sw.bit_identical,
+            "a branch diverged from its cold counterpart"
+        );
+        assert!(
+            sw.speedup > 1.0,
+            "sharing the warm-up must beat {} cold starts (got {:.2}×)",
+            sw.branches,
+            sw.speedup
+        );
+    }
+
+    #[test]
+    fn report_serialises_to_wellformed_json() {
+        let report = BenchPr5Report {
+            codec: SnapshotCodecBench {
+                warm_hours: 72,
+                events: 1_000_000,
+                bytes: 500_000,
+                encode_ms: 3.0,
+                decode_ms: 9.0,
+            },
+            sweeps: vec![
+                BranchSweepBench {
+                    branches: 8,
+                    warm_hours: 72,
+                    branch_hours: 6,
+                    cold_wall_s: 80.0,
+                    branch_wall_s: 12.0,
+                    speedup: 6.7,
+                    bit_identical: true,
+                },
+                BranchSweepBench {
+                    branches: 32,
+                    warm_hours: 72,
+                    branch_hours: 6,
+                    cold_wall_s: 320.0,
+                    branch_wall_s: 34.0,
+                    speedup: 9.4,
+                    bit_identical: true,
+                },
+            ],
+        };
+        let j = report.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "snapshot_codec",
+            "encode_ms",
+            "branch_sweeps",
+            "speedup",
+            "bit_identical",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!(!j.contains(",\n  }"), "trailing comma");
+        assert!(!j.contains(",\n    }"), "trailing comma");
+        assert!(!j.contains(",\n}"), "trailing comma");
+    }
+}

@@ -7,8 +7,12 @@
 //! df3-experiments bench      # performance trajectory → BENCH_PR2.json
 //! df3-experiments bench_pr3  # robustness trajectory → BENCH_PR3.json
 //! df3-experiments bench_pr4  # telemetry trajectory → BENCH_PR4.json
+//! df3-experiments bench_pr5  # checkpoint/restore trajectory → BENCH_PR5.json
 //! df3-experiments report --preset district_winter --hours 24 --out runs/
 //!                            # one instrumented run → JSONL + Chrome trace + Prometheus
+//! df3-experiments snapshot --preset district_winter --at 72h -o warm.df3snap
+//! df3-experiments resume   --preset district_winter --snapshot warm.df3snap --check
+//! df3-experiments branch   --preset district_winter --snapshot warm.df3snap --sweep 32
 //! ```
 
 use std::env;
@@ -47,6 +51,37 @@ fn main() {
         let path = "BENCH_PR4.json";
         std::fs::write(path, report.to_json()).expect("write BENCH_PR4.json");
         println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
+        return;
+    }
+    if selected.iter().any(|s| s == "bench_pr5") {
+        let t0 = Instant::now();
+        let (report, table) = bench::bench_pr5::run(fast);
+        println!("{}", table.render());
+        let path = "BENCH_PR5.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_PR5.json");
+        println!("wrote {path} in {:.1} s", t0.elapsed().as_secs_f64());
+        return;
+    }
+    if let Some(sub @ ("snapshot" | "resume" | "branch")) = args.first().map(String::as_str) {
+        let t0 = Instant::now();
+        let result = match sub {
+            "snapshot" => bench::snapshot_cli::parse_snapshot_args(&args[1..])
+                .and_then(|a| bench::snapshot_cli::run_snapshot(&a)),
+            "resume" => bench::snapshot_cli::parse_resume_args(&args[1..])
+                .and_then(|a| bench::snapshot_cli::run_resume(&a)),
+            _ => bench::snapshot_cli::parse_branch_args(&args[1..])
+                .and_then(|a| bench::snapshot_cli::run_branch(&a)),
+        };
+        match result {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("done in {:.1} s", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("df3-experiments {sub}: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if args.first().map(String::as_str) == Some("report") {

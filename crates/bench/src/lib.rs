@@ -13,7 +13,9 @@ pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr3;
 pub mod bench_pr4;
+pub mod bench_pr5;
 pub mod experiments;
 pub mod run_report;
+pub mod snapshot_cli;
 
 pub use experiments::*;

@@ -456,6 +456,41 @@ impl ClusterSim {
     pub fn compute_energy_kwh(&self) -> f64 {
         self.workers.iter().map(|w| w.compute_energy_kwh()).sum()
     }
+
+    /// Checkpoint the cluster's dynamic state: every worker plus both
+    /// ready queues. `room_base` and the worker skeletons are rebuilt
+    /// by `Platform::new` from the config before the overlay.
+    pub fn snapshot_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        use simcore::snapshot::Snapshot;
+        w.put_usize(self.workers.len());
+        for worker in &self.workers {
+            worker.snapshot_state(w);
+        }
+        self.edge_queue.encode(w);
+        self.dcc_queue.encode(w);
+    }
+
+    /// Overlay a checkpointed dynamic state onto a freshly built cluster.
+    pub fn restore_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::{Snapshot, SnapshotError};
+        let n = r.take_usize()?;
+        if n != self.workers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "cluster {}: snapshot has {n} workers, config built {}",
+                self.id,
+                self.workers.len()
+            )));
+        }
+        for worker in &mut self.workers {
+            worker.restore_state(r)?;
+        }
+        self.edge_queue = ReadyQueue::decode(r)?;
+        self.dcc_queue = ReadyQueue::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,40 @@ impl Datacenter {
     pub fn gops_per_core(&self) -> f64 {
         self.gops_per_core
     }
+
+    /// Checkpoint the pool's dynamic state. Config and the Xeon speed
+    /// grades are rebuilt from the platform config on restore.
+    pub fn snapshot_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        use simcore::snapshot::Snapshot;
+        w.put_usize(self.busy_cores);
+        self.queue.encode(w);
+        self.running.encode(w);
+        w.put_f64(self.it_energy_j);
+        self.last_energy_update.encode(w);
+        w.put_u64(self.completed);
+    }
+
+    /// Overlay a checkpointed dynamic state onto a fresh pool.
+    pub fn restore_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::{Snapshot, SnapshotError};
+        self.busy_cores = r.take_usize()?;
+        self.queue = VecDeque::decode(r)?;
+        self.running = Vec::decode(r)?;
+        self.it_energy_j = r.take_f64()?;
+        self.last_energy_update = SimTime::decode(r)?;
+        self.completed = r.take_u64()?;
+        let occupied: usize = self.running.iter().map(|(_, c, _)| *c).sum();
+        if occupied != self.busy_cores || self.busy_cores > self.config.cores {
+            return Err(SnapshotError::Corrupt(format!(
+                "datacenter ledger: {} busy cores vs {} running on a {}-core pool",
+                self.busy_cores, occupied, self.config.cores
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -280,6 +280,95 @@ impl FaultPlan {
         self
     }
 
+    /// Whether `self` is a valid *branch plan* over `base`: everything
+    /// that could have fired before the snapshot offset `at` must be
+    /// identical, and everything added must act strictly after it — so
+    /// restoring a warm-up taken under `base` and continuing under
+    /// `self` is bit-identical to a cold run under `self` up to `at`.
+    ///
+    /// Rules:
+    /// - worker churn identical (its RNG draws start at t = 0);
+    /// - recovery identical when `base` has injectors; when `base` is
+    ///   empty the warm-up ran with no fault runtime at all, so the
+    ///   branch recovery must keep retries off (a retry layer changes
+    ///   rejection handling from the first event);
+    /// - each injector list extends `base`'s as an exact prefix, and
+    ///   every added window starts at or after `at` — cluster outages
+    ///   need an extra `control_period` of slack because outage
+    ///   transitions are scheduled one control tick ahead.
+    pub fn is_extension_of(
+        &self,
+        base: &FaultPlan,
+        at: SimDuration,
+        control_period: SimDuration,
+    ) -> Result<(), String> {
+        if self.worker_churn != base.worker_churn {
+            return Err("branch plan must keep the base worker churn".into());
+        }
+        if base.is_empty() {
+            if self.recovery.retry.enabled() {
+                return Err(
+                    "branching from a fault-free warm-up cannot enable retries (they act from t = 0)"
+                        .into(),
+                );
+            }
+        } else if self.recovery != base.recovery {
+            return Err("branch plan must keep the base recovery policy".into());
+        }
+        fn prefix<T: PartialEq + Copy>(
+            ours: &[T],
+            theirs: &[T],
+            what: &str,
+            earliest: SimDuration,
+            window: impl Fn(&T) -> Window,
+        ) -> Result<(), String> {
+            if ours.len() < theirs.len() || ours[..theirs.len()] != *theirs {
+                return Err(format!(
+                    "branch {what} must extend the base list as a prefix"
+                ));
+            }
+            for f in &ours[theirs.len()..] {
+                if window(f).start < earliest {
+                    return Err(format!(
+                        "added {what} window starts {} before the branch point {}",
+                        window(f).start,
+                        earliest
+                    ));
+                }
+            }
+            Ok(())
+        }
+        prefix(
+            &self.cluster_outages,
+            &base.cluster_outages,
+            "cluster outage",
+            at + control_period,
+            |o| o.window,
+        )?;
+        prefix(
+            &self.master_outages,
+            &base.master_outages,
+            "master outage",
+            at,
+            |w| *w,
+        )?;
+        prefix(
+            &self.link_faults,
+            &base.link_faults,
+            "link fault",
+            at,
+            |f| f.window,
+        )?;
+        prefix(
+            &self.sensor_faults,
+            &base.sensor_faults,
+            "sensor fault",
+            at,
+            |s| s.window,
+        )?;
+        Ok(())
+    }
+
     /// Validate against a fleet shape.
     pub fn validate(&self, n_clusters: usize, workers_per_cluster: usize) -> Result<(), String> {
         if let Some(c) = &self.worker_churn {
@@ -374,6 +463,51 @@ pub struct FaultEvent {
     pub worker: Option<usize>,
 }
 
+impl simcore::snapshot::Snapshot for FaultEventKind {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u8(match self {
+            FaultEventKind::WorkerFail => 0,
+            FaultEventKind::WorkerRepair => 1,
+            FaultEventKind::Quarantine => 2,
+            FaultEventKind::ClusterDown => 3,
+            FaultEventKind::ClusterUp => 4,
+        });
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(FaultEventKind::WorkerFail),
+            1 => Ok(FaultEventKind::WorkerRepair),
+            2 => Ok(FaultEventKind::Quarantine),
+            3 => Ok(FaultEventKind::ClusterDown),
+            4 => Ok(FaultEventKind::ClusterUp),
+            b => Err(simcore::snapshot::SnapshotError::Corrupt(format!(
+                "fault event kind tag {b}"
+            ))),
+        }
+    }
+}
+
+impl simcore::snapshot::Snapshot for FaultEvent {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.t.encode(w);
+        self.kind.encode(w);
+        w.put_usize(self.cluster);
+        self.worker.encode(w);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(FaultEvent {
+            t: SimTime::decode(r)?,
+            kind: FaultEventKind::decode(r)?,
+            cluster: r.take_usize()?,
+            worker: Option::decode(r)?,
+        })
+    }
+}
+
 /// Live per-run fault state, built by the platform only when the plan
 /// has at least one injector (so fault-free runs pay nothing).
 #[derive(Debug, Clone)]
@@ -385,6 +519,11 @@ pub struct FaultRuntime {
     pub flap: sched::retry::FlapTracker,
     /// Whether each cluster is inside a power outage right now.
     pub cluster_dark: Vec<bool>,
+    /// Whether each planned cluster outage has had its down/up
+    /// transitions scheduled yet (outages are scheduled lazily, one
+    /// control tick ahead, so a restored run can pick up outages added
+    /// by a branch plan).
+    pub outage_scheduled: Vec<bool>,
     has_link_faults: bool,
     has_sensor_faults: bool,
 }
@@ -393,14 +532,58 @@ impl FaultRuntime {
     pub fn new(plan: FaultPlan, n_clusters: usize, n_worker_slots: usize) -> Self {
         let has_link_faults = !plan.link_faults.is_empty();
         let has_sensor_faults = !plan.sensor_faults.is_empty();
+        let outage_scheduled = vec![false; plan.cluster_outages.len()];
         FaultRuntime {
             plan,
             retry_book: workloads::RetryBook::new(),
             flap: sched::retry::FlapTracker::new(n_worker_slots),
             cluster_dark: vec![false; n_clusters],
+            outage_scheduled,
             has_link_faults,
             has_sensor_faults,
         }
+    }
+
+    /// Checkpoint the runtime's mutable state (the plan itself is
+    /// config, rebuilt on restore).
+    pub fn snapshot_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        use simcore::snapshot::Snapshot;
+        self.retry_book.encode(w);
+        self.flap.encode(w);
+        self.cluster_dark.encode(w);
+        self.outage_scheduled.encode(w);
+    }
+
+    /// Overlay checkpointed state onto a fresh runtime. A branch plan
+    /// may have *more* outages than the snapshot knew about; the
+    /// scheduled-flags vector grows with `false` for the additions.
+    pub fn restore_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::{Snapshot, SnapshotError};
+        self.retry_book = workloads::RetryBook::decode(r)?;
+        self.flap = sched::retry::FlapTracker::decode(r)?;
+        let dark = Vec::<bool>::decode(r)?;
+        if dark.len() != self.cluster_dark.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot tracks {} clusters, config built {}",
+                dark.len(),
+                self.cluster_dark.len()
+            )));
+        }
+        self.cluster_dark = dark;
+        let mut scheduled = Vec::<bool>::decode(r)?;
+        if scheduled.len() > self.plan.cluster_outages.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot tracks {} cluster outages, plan has {}",
+                scheduled.len(),
+                self.plan.cluster_outages.len()
+            )));
+        }
+        scheduled.resize(self.plan.cluster_outages.len(), false);
+        self.outage_scheduled = scheduled;
+        Ok(())
     }
 
     pub fn plan(&self) -> &FaultPlan {

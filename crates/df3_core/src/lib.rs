@@ -47,6 +47,6 @@ pub mod worker;
 
 pub use config::{ArchClass, PlatformConfig, WatchdogConfig};
 pub use faults::{FaultPlan, RecoveryPolicy, SensorFaultKind, Window};
-pub use platform::{Platform, PlatformOutcome};
+pub use platform::{PausedRun, Platform, PlatformOutcome, RunTo};
 pub use regulator::{HeatRegulator, RegulatorDecision};
 pub use report::{ExportOptions, RunReport};

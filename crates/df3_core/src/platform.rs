@@ -29,14 +29,15 @@
 use crate::cluster::{ClusterSim, Dispatch};
 use crate::config::{ArchClass, PlatformConfig};
 use crate::datacenter::{Datacenter, DatacenterConfig};
-use crate::faults::{FaultEventKind, FaultRuntime, SensorFaultKind};
+use crate::faults::{FaultEventKind, FaultPlan, FaultRuntime, SensorFaultKind};
 use crate::stats::PlatformStats;
 use crate::worker::SensorState;
 use dfnet::link::{Link, LinkClass};
 use dfnet::protocol::Protocol;
 use sched::PeakAction;
-use simcore::engine::{Engine, Model, Scheduler};
+use simcore::engine::{Engine, EngineRun, Model, RunSummary, Scheduler};
 use simcore::event::EventId;
+use simcore::snapshot::{Snapshot, SnapshotError, SnapshotFile, SnapshotReader, SnapshotWriter};
 use simcore::telemetry::{
     FieldSet, FlightRecorder, Phase, PhaseProfiler, TagId, Telemetry, Track, Value,
 };
@@ -344,6 +345,17 @@ impl Platform {
 
     /// Run `jobs` through the platform. Consumes self.
     pub fn run(self, jobs: &JobStream) -> PlatformOutcome {
+        match self.run_to(jobs, SimTime::MAX) {
+            RunTo::Finished(out) => out,
+            RunTo::Paused(_) => unreachable!("the horizon always precedes SimTime::MAX"),
+        }
+    }
+
+    /// Run `jobs`, pausing before the first event at or after
+    /// `pause_at` (the horizon still wins: a run whose next event is
+    /// past the horizon finishes normally). A paused run can be
+    /// snapshotted, resumed, or both.
+    pub fn run_to(self, jobs: &JobStream, pause_at: SimTime) -> RunTo {
         let horizon = SimTime::ZERO + self.config.horizon;
         let mut engine = Engine::new(
             PlatformModel {
@@ -353,17 +365,136 @@ impl Platform {
             horizon,
         );
         engine.event_budget = 500_000_000;
-        let (model, summary) = engine.run();
-        let mut p = model.p;
-        p.finalise_energy(summary.end_time);
-        p.finalise_accounting(summary.end_time);
-        PlatformOutcome {
-            stats: p.stats,
-            events: summary.events,
-            end: summary.end_time,
-            peak_queue: summary.peak_queue,
-            telemetry: p.telemetry,
+        match engine.run_until(pause_at) {
+            EngineRun::Paused(engine) => RunTo::Paused(PausedRun { engine: *engine }),
+            EngineRun::Finished(model, summary) => RunTo::Finished(finish_outcome(model, summary)),
         }
+    }
+
+    /// Rebuild a paused run from `snapshot_bytes` taken under the SAME
+    /// config (weather, fleet shape, policies, fault plan — everything
+    /// is fingerprint-checked). The job stream is not needed: every
+    /// pre-horizon arrival was scheduled at init and lives in the
+    /// snapshotted event queue.
+    pub fn restore(config: PlatformConfig, bytes: &[u8]) -> Result<PausedRun, SnapshotError> {
+        Self::restore_impl(config, None, bytes)
+    }
+
+    /// Rebuild a paused run from a snapshot taken under `base_plan`,
+    /// continuing under `config.faults` instead — a *branch*. The
+    /// branch plan must extend the base plan with injectors acting
+    /// strictly after the snapshot point
+    /// (see [`FaultPlan::is_extension_of`]); everything else in the
+    /// config must match the warm-up exactly.
+    pub fn restore_branch(
+        base_plan: &FaultPlan,
+        config: PlatformConfig,
+        bytes: &[u8],
+    ) -> Result<PausedRun, SnapshotError> {
+        Self::restore_impl(config, Some(base_plan), bytes)
+    }
+
+    fn restore_impl(
+        config: PlatformConfig,
+        base_plan: Option<&FaultPlan>,
+        bytes: &[u8],
+    ) -> Result<PausedRun, SnapshotError> {
+        let file = SnapshotFile::from_bytes(bytes)?;
+        let mut r = file.section("meta")?;
+        let config_fp = r.take_u64()?;
+        let plan_fp = r.take_u64()?;
+        let now = SimTime::decode(&mut r)?;
+        let events = r.take_u64()?;
+        r.expect_end()?;
+        if config_fp != config_fingerprint(&config) {
+            return Err(SnapshotError::Corrupt(
+                "snapshot was taken under a different platform config".into(),
+            ));
+        }
+        match base_plan {
+            None => {
+                if plan_fp != plan_fingerprint(&config.faults) {
+                    return Err(SnapshotError::Corrupt(
+                        "snapshot was taken under a different fault plan \
+                         (use restore_branch to extend one)"
+                            .into(),
+                    ));
+                }
+            }
+            Some(base) => {
+                if plan_fp != plan_fingerprint(base) {
+                    return Err(SnapshotError::Corrupt(
+                        "base plan is not the one the snapshot was taken under".into(),
+                    ));
+                }
+                config
+                    .faults
+                    .is_extension_of(
+                        base,
+                        now.saturating_since(SimTime::ZERO),
+                        config.control_period,
+                    )
+                    .map_err(SnapshotError::Corrupt)?;
+                if base.is_empty() && !config.faults.is_empty() && config.worker_mtbf.is_some() {
+                    return Err(SnapshotError::Corrupt(
+                        "cannot branch a fault plan onto a fault-free warm-up that used \
+                         legacy worker churn (failures before the branch point would be \
+                         handled differently)"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        let mut p = Platform::new(config);
+        let mut r = file.section("engine")?;
+        let sched = Scheduler::<Ev>::decode(&mut r)?;
+        r.expect_end()?;
+        if sched.now() != now {
+            return Err(SnapshotError::Corrupt(format!(
+                "engine clock {} disagrees with snapshot meta {now}",
+                sched.now()
+            )));
+        }
+        let mut r = file.section("rng")?;
+        p.streams = simcore::RngStreams::decode(&mut r)?;
+        r.expect_end()?;
+        let mut r = file.section("registry")?;
+        let names = Vec::<String>::decode(&mut r)?;
+        r.expect_end()?;
+        simcore::metrics::reintern_names(&names);
+        let mut r = file.section("telemetry")?;
+        p.telemetry.recorder = FlightRecorder::decode(&mut r)?;
+        r.expect_end()?;
+        let mut r = file.section("thermal")?;
+        let rooms = ThermalBatch::decode(&mut r)?;
+        r.expect_end()?;
+        if rooms.len() != p.rooms.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {} rooms, config builds {}",
+                rooms.len(),
+                p.rooms.len()
+            )));
+        }
+        p.rooms = rooms;
+        let mut r = file.section("platform")?;
+        p.restore_state(&mut r)?;
+        r.expect_end()?;
+        let telemetry_on = p.config.telemetry.enabled;
+        let mut engine = Engine::restored(
+            PlatformModel {
+                p,
+                jobs: Vec::new(),
+            },
+            sched,
+            events,
+        );
+        engine.event_budget = 500_000_000;
+        if telemetry_on {
+            // The profiler measures wall-clock phases of *this* process;
+            // it is deliberately not part of the snapshot.
+            engine.scheduler_mut().profiler = PhaseProfiler::enabled();
+        }
+        Ok(PausedRun { engine })
     }
 
     fn outdoor(&self, t: SimTime) -> f64 {
@@ -926,6 +1057,38 @@ impl Platform {
         self.clusters[cluster].worker_mut(worker).repair();
     }
 
+    /// Schedule the down/up transitions of every planned cluster outage
+    /// that becomes due within the next control period. Running this at
+    /// the *start* of each control tick keeps the event order identical
+    /// to scheduling everything at init (a transition landing on a tick
+    /// timestamp gets a lower sequence number than that tick's own
+    /// event, which was scheduled at the end of the previous handler),
+    /// while letting a branch-restored run schedule outages its warm-up
+    /// never knew about.
+    fn schedule_due_outages(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let Some(rt) = self.faults.as_mut() else {
+            return;
+        };
+        for i in 0..rt.outage_scheduled.len() {
+            if rt.outage_scheduled[i] {
+                continue;
+            }
+            let o = rt.plan().cluster_outages[i];
+            let start = SimTime::ZERO + o.window.start;
+            if start > now + self.config.control_period {
+                continue;
+            }
+            rt.outage_scheduled[i] = true;
+            if start < sched.horizon() {
+                sched.at(start.max(now), Ev::ClusterDown { outage: i });
+                let end = SimTime::ZERO + o.window.end;
+                if end < sched.horizon() {
+                    sched.at(end.max(now), Ev::ClusterUp { outage: i });
+                }
+            }
+        }
+    }
+
     /// Refresh every targeted room sensor from the plan's windows (run
     /// at each control tick; cheap because it only walks the plan's
     /// fault list, not the fleet).
@@ -1069,6 +1232,300 @@ impl Platform {
             "dcc conservation: arrived = completed+rejected+in-flight"
         );
     }
+
+    /// Checkpoint every run-mutated field of the platform. Statics —
+    /// weather, links, tag interning, the room/worker skeletons — are
+    /// pure functions of the config and are rebuilt by
+    /// [`Platform::new`] before [`Platform::restore_state`] overlays
+    /// this.
+    fn snapshot_state(&self, w: &mut SnapshotWriter) {
+        self.stats.encode(w);
+        w.put_usize(self.clusters.len());
+        for c in &self.clusters {
+            c.snapshot_state(w);
+        }
+        w.put_bool(self.datacenter.is_some());
+        if let Some(dc) = &self.datacenter {
+            dc.snapshot_state(w);
+        }
+        self.running_events.slots.encode(w);
+        self.down_since.encode(w);
+        self.fail_events.encode(w);
+        self.repair_events.encode(w);
+        w.put_u64(self.retries_pending);
+        self.last_energy_sample.encode(w);
+        w.put_bool(self.faults.is_some());
+        if let Some(rt) = &self.faults {
+            rt.snapshot_state(w);
+        }
+    }
+
+    /// Overlay a checkpointed dynamic state onto a freshly built
+    /// platform, validating every fleet-shape invariant on the way.
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.stats = PlatformStats::decode(r)?;
+        let n = r.take_usize()?;
+        if n != self.clusters.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n} clusters, config builds {}",
+                self.clusters.len()
+            )));
+        }
+        for c in &mut self.clusters {
+            c.restore_state(r)?;
+        }
+        let has_dc = r.take_bool()?;
+        if has_dc != self.datacenter.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "snapshot and config disagree on datacenter presence".into(),
+            ));
+        }
+        if let Some(dc) = self.datacenter.as_mut() {
+            dc.restore_state(r)?;
+        }
+        let slots = Vec::decode(r)?;
+        let down_since = Vec::decode(r)?;
+        let fail_events = Vec::decode(r)?;
+        let repair_events = Vec::decode(r)?;
+        let n_slots = self.running_events.slots.len();
+        if slots.len() != n_slots
+            || down_since.len() != n_slots
+            || fail_events.len() != n_slots
+            || repair_events.len() != n_slots
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot worker-slot vectors disagree with the {n_slots}-slot fleet"
+            )));
+        }
+        self.running_events.slots = slots;
+        self.down_since = down_since;
+        self.fail_events = fail_events;
+        self.repair_events = repair_events;
+        self.retries_pending = r.take_u64()?;
+        self.last_energy_sample = SimTime::decode(r)?;
+        let has_faults = r.take_bool()?;
+        match (has_faults, self.faults.as_mut()) {
+            (true, Some(rt)) => rt.restore_state(r)?,
+            (true, None) => {
+                return Err(SnapshotError::Corrupt(
+                    "snapshot carries fault state but the fault plan is empty".into(),
+                ))
+            }
+            // Branching a fault plan onto a fault-free warm-up: the
+            // freshly built runtime (empty books, nothing dark) IS the
+            // state the warm-up would have had, had the runtime existed.
+            (false, _) => {}
+        }
+        Ok(())
+    }
+}
+
+/// Stable fingerprint of everything in the config EXCEPT the fault
+/// plan (which has its own fingerprint so branches can swap it).
+fn config_fingerprint(config: &PlatformConfig) -> u64 {
+    let mut c = config.clone();
+    c.faults = FaultPlan::none();
+    simcore::snapshot::fingerprint(format!("{c:?}").as_bytes())
+}
+
+/// Stable fingerprint of a fault plan.
+fn plan_fingerprint(plan: &FaultPlan) -> u64 {
+    simcore::snapshot::fingerprint(format!("{plan:?}").as_bytes())
+}
+
+/// Close out a finished engine run into a [`PlatformOutcome`].
+fn finish_outcome(model: PlatformModel, summary: RunSummary) -> PlatformOutcome {
+    let mut p = model.p;
+    p.finalise_energy(summary.end_time);
+    p.finalise_accounting(summary.end_time);
+    PlatformOutcome {
+        stats: p.stats,
+        events: summary.events,
+        end: summary.end_time,
+        peak_queue: summary.peak_queue,
+        telemetry: p.telemetry,
+    }
+}
+
+/// Result of [`Platform::run_to`].
+#[allow(clippy::large_enum_variant)]
+pub enum RunTo {
+    /// The run paused at the requested point; snapshot or resume it.
+    Paused(PausedRun),
+    /// The horizon arrived first; the run finished normally.
+    Finished(PlatformOutcome),
+}
+
+/// A platform run paused between events — the unit the checkpoint
+/// subsystem works on. Serialise it with
+/// [`PausedRun::snapshot_bytes`], continue it with
+/// [`PausedRun::resume`], or rebuild one in a fresh process with
+/// [`Platform::restore`] / [`Platform::restore_branch`].
+pub struct PausedRun {
+    engine: Engine<PlatformModel>,
+}
+
+impl PausedRun {
+    /// Simulation time of the last dispatched event.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Events dispatched so far.
+    pub fn events(&self) -> u64 {
+        self.engine.events()
+    }
+
+    /// Serialise the complete run state into the versioned, checksummed
+    /// snapshot container.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let p = &self.engine.model().p;
+        let mut file = SnapshotFile::new();
+        let mut w = SnapshotWriter::new();
+        w.put_u64(config_fingerprint(&p.config));
+        w.put_u64(plan_fingerprint(&p.config.faults));
+        self.engine.now().encode(&mut w);
+        w.put_u64(self.engine.events());
+        file.add("meta", w);
+        let mut w = SnapshotWriter::new();
+        self.engine.scheduler().encode(&mut w);
+        file.add("engine", w);
+        let mut w = SnapshotWriter::new();
+        p.streams.encode(&mut w);
+        file.add("rng", w);
+        let mut w = SnapshotWriter::new();
+        simcore::metrics::registry_names().encode(&mut w);
+        file.add("registry", w);
+        let mut w = SnapshotWriter::new();
+        p.telemetry.recorder.encode(&mut w);
+        file.add("telemetry", w);
+        let mut w = SnapshotWriter::new();
+        p.rooms.encode(&mut w);
+        file.add("thermal", w);
+        let mut w = SnapshotWriter::new();
+        p.snapshot_state(&mut w);
+        file.add("platform", w);
+        file.to_bytes()
+    }
+
+    /// Run to the horizon and close out the outcome.
+    pub fn resume(self) -> PlatformOutcome {
+        let (model, summary) = self.engine.run();
+        finish_outcome(model, summary)
+    }
+}
+
+impl Snapshot for Venue {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        match self {
+            Venue::Local { cluster } => {
+                w.put_u8(0);
+                w.put_usize(*cluster);
+            }
+            Venue::Horizontal { from, to } => {
+                w.put_u8(1);
+                w.put_usize(*from);
+                w.put_usize(*to);
+            }
+            Venue::Datacenter => w.put_u8(2),
+        }
+    }
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(Venue::Local {
+                cluster: r.take_usize()?,
+            }),
+            1 => Ok(Venue::Horizontal {
+                from: r.take_usize()?,
+                to: r.take_usize()?,
+            }),
+            2 => Ok(Venue::Datacenter),
+            b => Err(SnapshotError::Corrupt(format!("venue tag {b}"))),
+        }
+    }
+}
+
+impl Snapshot for Ev {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        match self {
+            Ev::Arrival(job) => {
+                w.put_u8(0);
+                job.encode(w);
+            }
+            Ev::FinishLocal {
+                cluster,
+                worker,
+                job,
+                venue,
+            } => {
+                w.put_u8(1);
+                w.put_usize(*cluster);
+                w.put_usize(*worker);
+                job.encode(w);
+                venue.encode(w);
+            }
+            Ev::FinishDc { job } => {
+                w.put_u8(2);
+                job.encode(w);
+            }
+            Ev::ControlTick => w.put_u8(3),
+            Ev::WorkerFail { cluster, worker } => {
+                w.put_u8(4);
+                w.put_usize(*cluster);
+                w.put_usize(*worker);
+            }
+            Ev::WorkerRepair { cluster, worker } => {
+                w.put_u8(5);
+                w.put_usize(*cluster);
+                w.put_usize(*worker);
+            }
+            Ev::ClusterDown { outage } => {
+                w.put_u8(6);
+                w.put_usize(*outage);
+            }
+            Ev::ClusterUp { outage } => {
+                w.put_u8(7);
+                w.put_usize(*outage);
+            }
+            Ev::Retry { job } => {
+                w.put_u8(8);
+                job.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(Ev::Arrival(Job::decode(r)?)),
+            1 => Ok(Ev::FinishLocal {
+                cluster: r.take_usize()?,
+                worker: r.take_usize()?,
+                job: Job::decode(r)?,
+                venue: Venue::decode(r)?,
+            }),
+            2 => Ok(Ev::FinishDc {
+                job: Job::decode(r)?,
+            }),
+            3 => Ok(Ev::ControlTick),
+            4 => Ok(Ev::WorkerFail {
+                cluster: r.take_usize()?,
+                worker: r.take_usize()?,
+            }),
+            5 => Ok(Ev::WorkerRepair {
+                cluster: r.take_usize()?,
+                worker: r.take_usize()?,
+            }),
+            6 => Ok(Ev::ClusterDown {
+                outage: r.take_usize()?,
+            }),
+            7 => Ok(Ev::ClusterUp {
+                outage: r.take_usize()?,
+            }),
+            8 => Ok(Ev::Retry {
+                job: Job::decode(r)?,
+            }),
+            b => Err(SnapshotError::Corrupt(format!("platform event tag {b}"))),
+        }
+    }
 }
 
 struct PlatformModel {
@@ -1096,19 +1553,9 @@ impl Model for PlatformModel {
                 }
             }
         }
-        if let Some(rt) = &self.p.faults {
-            let outages = rt.plan().cluster_outages.clone();
-            for (i, o) in outages.iter().enumerate() {
-                let start = SimTime::ZERO + o.window.start;
-                if start < sched.horizon() {
-                    sched.at(start, Ev::ClusterDown { outage: i });
-                    let end = SimTime::ZERO + o.window.end;
-                    if end < sched.horizon() {
-                        sched.at(end, Ev::ClusterUp { outage: i });
-                    }
-                }
-            }
-        }
+        // Cluster outages are scheduled lazily, one control tick ahead
+        // (see `Platform::schedule_due_outages`), so a run restored from
+        // a snapshot picks up outages a branch plan appended.
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
@@ -1287,6 +1734,7 @@ impl Model for PlatformModel {
             Ev::ControlTick => {
                 let t_tick = sched.profiler.start();
                 let t_fault = sched.profiler.start();
+                self.p.schedule_due_outages(now, sched);
                 self.p.apply_sensor_states(now);
                 sched.profiler.stop(Phase::FaultRuntime, t_fault);
                 let outdoor = self.p.outdoor(now);
@@ -1644,6 +2092,145 @@ mod tests {
             "MTTR {}",
             s.mttr_s.mean()
         );
+    }
+
+    /// Snapshot-encode a stats block for bit-exact comparison.
+    fn stats_bytes(s: &PlatformStats) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        s.encode(&mut w);
+        w.into_bytes()
+    }
+
+    fn pause_at(cfg: PlatformConfig, jobs: &JobStream, at_hours: i64) -> PausedRun {
+        match Platform::new(cfg).run_to(jobs, SimTime::from_secs(at_hours * 3_600)) {
+            RunTo::Paused(p) => p,
+            RunTo::Finished(_) => panic!("pause point inside the horizon"),
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_is_bit_identical_to_a_straight_run() {
+        let jobs = edge_stream(6);
+        let cold = Platform::new(tiny_config()).run(&jobs);
+        let paused = pause_at(tiny_config(), &jobs, 3);
+        let warm = paused.resume();
+        assert_eq!(cold.events, warm.events);
+        assert_eq!(cold.end, warm.end);
+        assert_eq!(stats_bytes(&cold.stats), stats_bytes(&warm.stats));
+    }
+
+    #[test]
+    fn snapshot_restore_in_a_fresh_platform_is_bit_identical() {
+        // The golden guarantee, under an ACTIVE fault plan: churn firing
+        // throughout, a master outage straddling the snapshot point, and
+        // the retry layer holding open chains across it.
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none()
+            .with_churn(SimDuration::from_hours(4), SimDuration::from_secs(1_800))
+            .with_master_outage(Window::from_hours(2, 3))
+            .with_recovery(RecoveryPolicy::standard());
+        let jobs = edge_stream(6);
+        let cold = Platform::new(cfg.clone()).run(&jobs);
+        let paused = pause_at(cfg.clone(), &jobs, 2);
+        let bytes = paused.snapshot_bytes();
+        // The restored run never sees the job stream: arrivals live in
+        // the snapshotted event queue.
+        let warm = Platform::restore(cfg, &bytes).expect("round trip").resume();
+        assert_eq!(cold.events, warm.events);
+        assert_eq!(stats_bytes(&cold.stats), stats_bytes(&warm.stats));
+        assert!(warm.stats.worker_failures.get() > 0, "plan stayed active");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_or_plan() {
+        let jobs = edge_stream(6);
+        let bytes = pause_at(tiny_config(), &jobs, 2).snapshot_bytes();
+        let mut other = tiny_config();
+        other.setpoint_c += 1.0;
+        assert!(Platform::restore(other, &bytes).is_err(), "config drift");
+        let mut other = tiny_config();
+        other.faults = FaultPlan::none().with_master_outage(Window::from_hours(4, 5));
+        assert!(
+            Platform::restore(other, &bytes).is_err(),
+            "plan drift without restore_branch"
+        );
+    }
+
+    #[test]
+    fn truncated_or_corrupted_snapshots_error_never_panic() {
+        let jobs = edge_stream(6);
+        let bytes = pause_at(tiny_config(), &jobs, 2).snapshot_bytes();
+        for cut in [0, 1, 7, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Platform::restore(tiny_config(), &bytes[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+        for flip in [8, 64, bytes.len() / 3, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x40;
+            assert!(
+                Platform::restore(tiny_config(), &bad).is_err(),
+                "bit flip at {flip} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_restore_extends_the_fault_plan_bit_identically() {
+        // Warm up under churn; branch an extra cluster outage onto the
+        // snapshot. The branch must equal a cold run under the extended
+        // plan, bit for bit — the basis of branch-from-snapshot sweeps.
+        let base = FaultPlan::none()
+            .with_churn(SimDuration::from_hours(4), SimDuration::from_secs(1_800))
+            .with_recovery(RecoveryPolicy::standard());
+        let mut cfg = tiny_config();
+        cfg.faults = base.clone();
+        let jobs = edge_stream(6);
+        let bytes = pause_at(cfg.clone(), &jobs, 2).snapshot_bytes();
+
+        let mut branch_cfg = cfg.clone();
+        branch_cfg.faults = base
+            .clone()
+            .with_cluster_outage(0, Window::from_hours(3, 4));
+        let cold = Platform::new(branch_cfg.clone()).run(&jobs);
+        let warm = Platform::restore_branch(&base, branch_cfg, &bytes)
+            .expect("valid branch")
+            .resume();
+        assert_eq!(cold.events, warm.events);
+        assert_eq!(stats_bytes(&cold.stats), stats_bytes(&warm.stats));
+        assert_eq!(warm.stats.cluster_outages.get(), 1, "branch outage fired");
+    }
+
+    #[test]
+    fn branch_restore_rejects_windows_before_the_branch_point() {
+        let base = FaultPlan::none()
+            .with_churn(SimDuration::from_hours(4), SimDuration::from_secs(1_800))
+            .with_recovery(RecoveryPolicy::standard());
+        let mut cfg = tiny_config();
+        cfg.faults = base.clone();
+        let jobs = edge_stream(6);
+        let bytes = pause_at(cfg.clone(), &jobs, 2).snapshot_bytes();
+        // Starts before the snapshot: would rewrite warmed-up history.
+        let mut bad = cfg.clone();
+        bad.faults = base
+            .clone()
+            .with_cluster_outage(0, Window::from_hours(1, 3));
+        assert!(Platform::restore_branch(&base, bad, &bytes).is_err());
+        // Outage inside the one-tick scheduling slack is rejected too.
+        let mut slack = cfg.clone();
+        slack.faults = base.clone().with_cluster_outage(
+            0,
+            Window::new(
+                SimDuration::from_secs(2 * 3_600 + 60),
+                SimDuration::from_hours(3),
+            ),
+        );
+        assert!(Platform::restore_branch(&base, slack, &bytes).is_err());
+        // Dropping a base injector is not an extension.
+        let mut dropped = cfg;
+        dropped.faults = FaultPlan::none().with_recovery(RecoveryPolicy::standard());
+        assert!(Platform::restore_branch(&base, dropped, &bytes).is_err());
     }
 
     #[test]

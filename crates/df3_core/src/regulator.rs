@@ -143,6 +143,29 @@ impl HeatRegulator {
     }
 }
 
+impl simcore::snapshot::Snapshot for RegulatorDecision {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_bool(self.powered);
+        w.put_usize(self.usable_cores);
+        w.put_usize(self.level);
+        w.put_f64(self.compute_budget_w);
+        w.put_f64(self.resistive_w);
+        w.put_f64(self.heat_budget_w);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(RegulatorDecision {
+            powered: r.take_bool()?,
+            usable_cores: r.take_usize()?,
+            level: r.take_usize()?,
+            compute_budget_w: r.take_f64()?,
+            resistive_w: r.take_f64()?,
+            heat_budget_w: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

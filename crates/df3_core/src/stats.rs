@@ -356,6 +356,101 @@ impl Default for PlatformStats {
     }
 }
 
+/// Field-by-field in declaration order — every measurement a restored
+/// run keeps accumulating must survive the round trip bit-exactly.
+impl simcore::snapshot::Snapshot for PlatformStats {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.edge_response_ms.encode(w);
+        self.edge_deadline_met.encode(w);
+        self.edge_completed.encode(w);
+        self.edge_rejected.encode(w);
+        self.edge_expired.encode(w);
+        self.dcc_completed.encode(w);
+        self.dcc_response_s.encode(w);
+        self.dcc_slowdown.encode(w);
+        self.dcc_rejected.encode(w);
+        w.put_f64(self.edge_work_gops);
+        w.put_f64(self.dcc_work_gops);
+        w.put_f64(self.dc_work_gops);
+        self.jobs_abandoned.encode(w);
+        self.worker_failures.encode(w);
+        self.jobs_requeued.encode(w);
+        self.jobs_retried.encode(w);
+        self.quarantines.encode(w);
+        self.cluster_outages.encode(w);
+        self.sensor_faulted_ticks.encode(w);
+        w.put_f64(self.wasted_core_s);
+        w.put_f64(self.boiler_backfill_kwh);
+        self.mttr_s.encode(w);
+        self.repair_s.encode(w);
+        self.fault_timeline.encode(w);
+        self.fault_timeline_dropped.encode(w);
+        self.edge_arrived.encode(w);
+        self.dcc_arrived.encode(w);
+        w.put_u64(self.edge_in_flight_end);
+        w.put_u64(self.dcc_in_flight_end);
+        self.preemptions.encode(w);
+        self.offload_vertical.encode(w);
+        self.offload_horizontal.encode(w);
+        self.delays.encode(w);
+        self.room_temp_c.encode(w);
+        self.usable_cores.encode(w);
+        self.heat_demand.encode(w);
+        self.org_served_gops.encode(w);
+        w.put_f64(self.df_total_kwh);
+        w.put_f64(self.df_compute_kwh);
+        w.put_f64(self.dc_it_kwh);
+        w.put_f64(self.dc_facility_kwh);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(PlatformStats {
+            edge_response_ms: Histogram::decode(r)?,
+            edge_deadline_met: Counter::decode(r)?,
+            edge_completed: Counter::decode(r)?,
+            edge_rejected: Counter::decode(r)?,
+            edge_expired: Counter::decode(r)?,
+            dcc_completed: Counter::decode(r)?,
+            dcc_response_s: Summary::decode(r)?,
+            dcc_slowdown: Summary::decode(r)?,
+            dcc_rejected: Counter::decode(r)?,
+            edge_work_gops: r.take_f64()?,
+            dcc_work_gops: r.take_f64()?,
+            dc_work_gops: r.take_f64()?,
+            jobs_abandoned: Counter::decode(r)?,
+            worker_failures: Counter::decode(r)?,
+            jobs_requeued: Counter::decode(r)?,
+            jobs_retried: Counter::decode(r)?,
+            quarantines: Counter::decode(r)?,
+            cluster_outages: Counter::decode(r)?,
+            sensor_faulted_ticks: Counter::decode(r)?,
+            wasted_core_s: r.take_f64()?,
+            boiler_backfill_kwh: r.take_f64()?,
+            mttr_s: Summary::decode(r)?,
+            repair_s: Histogram::decode(r)?,
+            fault_timeline: Vec::decode(r)?,
+            fault_timeline_dropped: Counter::decode(r)?,
+            edge_arrived: Counter::decode(r)?,
+            dcc_arrived: Counter::decode(r)?,
+            edge_in_flight_end: r.take_u64()?,
+            dcc_in_flight_end: r.take_u64()?,
+            preemptions: Counter::decode(r)?,
+            offload_vertical: Counter::decode(r)?,
+            offload_horizontal: Counter::decode(r)?,
+            delays: Counter::decode(r)?,
+            room_temp_c: TimeSeries::decode(r)?,
+            usable_cores: TimeSeries::decode(r)?,
+            heat_demand: TimeSeries::decode(r)?,
+            org_served_gops: BTreeMap::decode(r)?,
+            df_total_kwh: r.take_f64()?,
+            df_compute_kwh: r.take_f64()?,
+            dc_it_kwh: r.take_f64()?,
+            dc_facility_kwh: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

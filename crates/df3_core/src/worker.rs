@@ -401,6 +401,99 @@ impl WorkerSim {
     pub fn compute_energy_kwh(&self) -> f64 {
         self.compute_energy_j / 3.6e6
     }
+
+    /// Checkpoint the worker's *dynamic* state. The static half (DVFS
+    /// ladder, regulator, thermostat, `edge_dedicated`, sensor bias) is
+    /// a pure function of the platform config and is rebuilt on
+    /// restore, so only what the run mutated is encoded.
+    pub fn snapshot_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        use simcore::snapshot::Snapshot;
+        self.decision.encode(w);
+        self.running.encode(w);
+        self.last_tick.encode(w);
+        w.put_f64(self.energy_j);
+        w.put_f64(self.compute_energy_j);
+        w.put_usize(self.potential_cores);
+        w.put_bool(self.failed);
+        self.sensor.encode(w);
+        self.last_good_c.encode(w);
+        self.last_flow_was_edge.encode(w);
+    }
+
+    /// Overlay a checkpointed dynamic state onto a freshly built worker.
+    pub fn restore_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::{Snapshot, SnapshotError};
+        self.decision = RegulatorDecision::decode(r)?;
+        self.running = Vec::decode(r)?;
+        self.last_tick = SimTime::decode(r)?;
+        self.energy_j = r.take_f64()?;
+        self.compute_energy_j = r.take_f64()?;
+        self.potential_cores = r.take_usize()?;
+        self.failed = r.take_bool()?;
+        self.sensor = SensorState::decode(r)?;
+        self.last_good_c = Option::decode(r)?;
+        self.last_flow_was_edge = Option::decode(r)?;
+        if self.busy_cores() > self.regulator.n_cores {
+            return Err(SnapshotError::Corrupt(format!(
+                "worker {}: {} busy cores exceed the {}-core board",
+                self.id,
+                self.busy_cores(),
+                self.regulator.n_cores
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl simcore::snapshot::Snapshot for SensorState {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        match self {
+            SensorState::Healthy => w.put_u8(0),
+            SensorState::Dropout => w.put_u8(1),
+            SensorState::StuckAt(v) => {
+                w.put_u8(2);
+                w.put_f64(*v);
+            }
+        }
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(SensorState::Healthy),
+            1 => Ok(SensorState::Dropout),
+            2 => Ok(SensorState::StuckAt(r.take_f64()?)),
+            b => Err(simcore::snapshot::SnapshotError::Corrupt(format!(
+                "sensor state tag {b}"
+            ))),
+        }
+    }
+}
+
+impl simcore::snapshot::Snapshot for RunningSlice {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.job.encode(w);
+        w.put_usize(self.cores);
+        w.put_f64(self.gops_per_core);
+        w.put_usize(self.level);
+        self.started.encode(w);
+        self.finish.encode(w);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(RunningSlice {
+            job: Job::decode(r)?,
+            cores: r.take_usize()?,
+            gops_per_core: r.take_f64()?,
+            level: r.take_usize()?,
+            started: SimTime::decode(r)?,
+            finish: SimTime::decode(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod topology;
 
 pub use link::Link;
 pub use lowpower::DutyCycleBudget;
+pub use message::ReassembleError;
 pub use protocol::Protocol;
 pub use segmentation::{Segment, SegmentPolicy};
-pub use topology::{NodeId, NodeKind, Topology};
+pub use topology::{NodeId, NodeKind, RouteError, Topology};

@@ -8,6 +8,47 @@
 
 use crate::protocol::Protocol;
 use bytes::Bytes;
+use std::fmt;
+
+/// Why a fragment set could not be reassembled. Gateways log these
+/// verbatim, so each variant carries enough context to locate the bad
+/// frame without a packet capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassembleError {
+    /// No fragments at all.
+    Empty,
+    /// A header claimed the message has zero fragments.
+    ZeroTotal,
+    /// Two fragments disagree about the message's total.
+    InconsistentTotal { expected: u16, found: u16 },
+    /// A fragment's index is not below the claimed total.
+    IndexOutOfRange { index: u16, total: u16 },
+    /// No fragment carried this index.
+    MissingFragment { index: u16, total: u16 },
+}
+
+impl fmt::Display for ReassembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ReassembleError::Empty => write!(f, "no fragments to reassemble"),
+            ReassembleError::ZeroTotal => {
+                write!(f, "fragment header claims a zero-fragment message")
+            }
+            ReassembleError::InconsistentTotal { expected, found } => write!(
+                f,
+                "fragment headers disagree on total: expected {expected}, found {found}"
+            ),
+            ReassembleError::IndexOutOfRange { index, total } => {
+                write!(f, "fragment index {index} out of range for total {total}")
+            }
+            ReassembleError::MissingFragment { index, total } => {
+                write!(f, "fragment {index} of {total} never arrived")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassembleError {}
 
 /// One protocol frame of a fragmented payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,30 +87,40 @@ pub fn fragment(protocol: Protocol, payload: &Bytes) -> Vec<Fragment> {
 }
 
 /// Reassemble fragments into the original payload. Fragments may arrive
-/// in any order; duplicates are tolerated (last write wins). Returns
-/// `None` if any fragment is missing or the headers are inconsistent.
-pub fn reassemble(fragments: &[Fragment]) -> Option<Bytes> {
-    let first = fragments.first()?;
-    let total = first.total as usize;
-    if total == 0 || fragments.iter().any(|f| f.total != first.total) {
-        return None;
+/// in any order; duplicates are tolerated (last write wins). Malformed
+/// input is an error, never a panic — frames come off the radio.
+pub fn reassemble(fragments: &[Fragment]) -> Result<Bytes, ReassembleError> {
+    let first = fragments.first().ok_or(ReassembleError::Empty)?;
+    if first.total == 0 {
+        return Err(ReassembleError::ZeroTotal);
     }
+    if let Some(bad) = fragments.iter().find(|f| f.total != first.total) {
+        return Err(ReassembleError::InconsistentTotal {
+            expected: first.total,
+            found: bad.total,
+        });
+    }
+    let total = first.total as usize;
     let mut slots: Vec<Option<&Fragment>> = vec![None; total];
     for f in fragments {
         let idx = f.index as usize;
         if idx >= total {
-            return None;
+            return Err(ReassembleError::IndexOutOfRange {
+                index: f.index,
+                total: first.total,
+            });
         }
         slots[idx] = Some(f);
     }
-    if slots.iter().any(|s| s.is_none()) {
-        return None;
-    }
     let mut out = Vec::with_capacity(fragments.iter().map(|f| f.payload.len()).sum());
-    for s in slots {
-        out.extend_from_slice(&s.expect("checked").payload);
+    for (i, s) in slots.iter().enumerate() {
+        let f = s.ok_or(ReassembleError::MissingFragment {
+            index: i as u16,
+            total: first.total,
+        })?;
+        out.extend_from_slice(&f.payload);
     }
-    Some(Bytes::from(out))
+    Ok(Bytes::from(out))
 }
 
 #[cfg(test)]
@@ -125,20 +176,61 @@ mod tests {
     }
 
     #[test]
-    fn missing_fragment_fails() {
+    fn missing_fragment_fails_with_its_index() {
         let p = payload(500);
         let mut frags = fragment(Protocol::Zigbee, &p);
+        let total = frags[0].total;
         frags.remove(2);
-        assert!(reassemble(&frags).is_none());
+        assert_eq!(
+            reassemble(&frags),
+            Err(ReassembleError::MissingFragment { index: 2, total })
+        );
     }
 
     #[test]
-    fn inconsistent_headers_fail() {
+    fn malformed_headers_fail_with_context() {
         let p = payload(300);
         let mut frags = fragment(Protocol::Zigbee, &p);
+        let expected = frags[0].total;
         frags[1].total = 99;
-        assert!(reassemble(&frags).is_none());
-        assert!(reassemble(&[]).is_none());
+        assert_eq!(
+            reassemble(&frags),
+            Err(ReassembleError::InconsistentTotal {
+                expected,
+                found: 99
+            })
+        );
+        assert_eq!(reassemble(&[]), Err(ReassembleError::Empty));
+        let zero = Fragment {
+            index: 0,
+            total: 0,
+            payload: payload(1),
+        };
+        assert_eq!(reassemble(&[zero]), Err(ReassembleError::ZeroTotal));
+        let wild = Fragment {
+            index: 7,
+            total: 2,
+            payload: payload(1),
+        };
+        let mut frags = fragment(Protocol::Zigbee, &payload(150));
+        frags.push(wild);
+        assert_eq!(
+            reassemble(&frags),
+            Err(ReassembleError::IndexOutOfRange { index: 7, total: 2 })
+        );
+        // Every variant renders a human-readable line for gateway logs.
+        for e in [
+            ReassembleError::Empty,
+            ReassembleError::ZeroTotal,
+            ReassembleError::InconsistentTotal {
+                expected: 2,
+                found: 99,
+            },
+            ReassembleError::IndexOutOfRange { index: 7, total: 2 },
+            ReassembleError::MissingFragment { index: 2, total: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

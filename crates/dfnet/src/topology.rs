@@ -10,6 +10,32 @@ use crate::protocol::Protocol;
 use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why a route could not be produced. Carries the offending handles so
+/// a failed lookup can be traced back to the node that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// A node handle does not name a node of this topology.
+    NodeOutOfRange { node: NodeId, n_nodes: usize },
+    /// Both endpoints exist but no link path connects them.
+    NoRoute { src: NodeId, dst: NodeId },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RouteError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node {} out of range ({n_nodes} nodes)", node.0)
+            }
+            RouteError::NoRoute { src, dst } => {
+                write!(f, "no route from node {} to node {}", src.0, dst.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// Node handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -58,8 +84,8 @@ impl Topology {
         NodeId(self.kinds.len() - 1)
     }
 
-    pub fn kind(&self, n: NodeId) -> NodeKind {
-        self.kinds[n.0]
+    pub fn kind(&self, n: NodeId) -> Option<NodeKind> {
+        self.kinds.get(n.0).copied()
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -86,13 +112,15 @@ impl Topology {
 
     /// Shortest path from `src` to `dst` minimising one-way latency of a
     /// message of `payload_bytes`. Returns the hop list (excluding `src`)
-    /// and the total time, or `None` if unreachable.
+    /// and the total time. Handles from another topology and unreachable
+    /// destinations are errors, never panics — routes are computed from
+    /// externally supplied endpoints.
     pub fn route(
         &self,
         src: NodeId,
         dst: NodeId,
         payload_bytes: usize,
-    ) -> Option<(Vec<NodeId>, SimDuration)> {
+    ) -> Result<(Vec<NodeId>, SimDuration), RouteError> {
         #[derive(PartialEq, Eq)]
         struct State {
             cost_us: i64,
@@ -112,7 +140,11 @@ impl Topology {
         }
 
         let n = self.n_nodes();
-        assert!(src.0 < n && dst.0 < n);
+        for node in [src, dst] {
+            if node.0 >= n {
+                return Err(RouteError::NodeOutOfRange { node, n_nodes: n });
+            }
+        }
         let mut dist = vec![i64::MAX; n];
         let mut prev: Vec<Option<NodeId>> = vec![None; n];
         let mut heap = BinaryHeap::new();
@@ -142,7 +174,7 @@ impl Topology {
             }
         }
         if dist[dst.0] == i64::MAX {
-            return None;
+            return Err(RouteError::NoRoute { src, dst });
         }
         let mut path = vec![dst];
         let mut cur = dst;
@@ -153,15 +185,17 @@ impl Topology {
             cur = p;
         }
         path.reverse();
-        Some((path, SimDuration::from_micros(dist[dst.0])))
+        Ok((path, SimDuration::from_micros(dist[dst.0])))
     }
 
-    /// One-way latency between two nodes, panicking if unreachable —
-    /// topology construction bugs should fail fast.
-    pub fn latency(&self, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimDuration {
-        self.route(src, dst, payload_bytes)
-            .unwrap_or_else(|| panic!("no route {src:?} → {dst:?}"))
-            .1
+    /// One-way latency between two nodes.
+    pub fn latency(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+    ) -> Result<SimDuration, RouteError> {
+        Ok(self.route(src, dst, payload_bytes)?.1)
     }
 }
 
@@ -228,22 +262,37 @@ impl BuildingTopology {
 
     /// Direct local request: device → worker (via the edge gateway LAN),
     /// one way (§II-C "the edge user has a direct connection").
-    pub fn direct_latency(&self, device: NodeId, worker: NodeId, bytes: usize) -> SimDuration {
+    pub fn direct_latency(
+        &self,
+        device: NodeId,
+        worker: NodeId,
+        bytes: usize,
+    ) -> Result<SimDuration, RouteError> {
         self.topo.latency(device, worker, bytes)
     }
 
     /// Indirect local request: device → master → worker (§II-C "the
     /// request is sent to the master node that will schedule it"). The
     /// master hop is forced even if a shorter path exists.
-    pub fn indirect_latency(&self, device: NodeId, worker: NodeId, bytes: usize) -> SimDuration {
-        self.topo.latency(device, self.master, bytes)
-            + self.topo.latency(self.master, worker, bytes)
+    pub fn indirect_latency(
+        &self,
+        device: NodeId,
+        worker: NodeId,
+        bytes: usize,
+    ) -> Result<SimDuration, RouteError> {
+        Ok(self.topo.latency(device, self.master, bytes)?
+            + self.topo.latency(self.master, worker, bytes)?)
     }
 
     /// Cloud round-trip: device → datacenter → device.
-    pub fn cloud_rtt(&self, device: NodeId, req_bytes: usize, rep_bytes: usize) -> SimDuration {
-        self.topo.latency(device, self.datacenter, req_bytes)
-            + self.topo.latency(self.datacenter, device, rep_bytes)
+    pub fn cloud_rtt(
+        &self,
+        device: NodeId,
+        req_bytes: usize,
+        rep_bytes: usize,
+    ) -> Result<SimDuration, RouteError> {
+        Ok(self.topo.latency(device, self.datacenter, req_bytes)?
+            + self.topo.latency(self.datacenter, device, rep_bytes)?)
     }
 }
 
@@ -274,8 +323,8 @@ mod tests {
         let b = building();
         let d = b.devices[0];
         let w = b.workers[1];
-        let direct = b.direct_latency(d, w, 500);
-        let indirect = b.indirect_latency(d, w, 500);
+        let direct = b.direct_latency(d, w, 500).unwrap();
+        let indirect = b.indirect_latency(d, w, 500).unwrap();
         assert!(
             indirect > direct,
             "indirect {indirect} must exceed direct {direct}"
@@ -286,8 +335,8 @@ mod tests {
     fn cloud_rtt_dwarfs_local() {
         let b = building();
         let d = b.devices[0];
-        let local = b.direct_latency(d, b.workers[0], 1_000);
-        let cloud = b.cloud_rtt(d, 1_000, 1_000);
+        let local = b.direct_latency(d, b.workers[0], 1_000).unwrap();
+        let cloud = b.cloud_rtt(d, 1_000, 1_000).unwrap();
         assert!(
             cloud.as_secs_f64() > 5.0 * local.as_secs_f64(),
             "cloud {cloud} vs local {local}"
@@ -298,17 +347,43 @@ mod tests {
     fn lora_device_much_slower_than_wifi_device() {
         let wifi = BuildingTopology::new(2, 1, Protocol::Wifi);
         let lora = BuildingTopology::new(2, 1, Protocol::Lora);
-        let lw = wifi.direct_latency(wifi.devices[0], wifi.workers[0], 100);
-        let ll = lora.direct_latency(lora.devices[0], lora.workers[0], 100);
+        let lw = wifi
+            .direct_latency(wifi.devices[0], wifi.workers[0], 100)
+            .unwrap();
+        let ll = lora
+            .direct_latency(lora.devices[0], lora.workers[0], 100)
+            .unwrap();
         assert!(ll.as_secs_f64() > 10.0 * lw.as_secs_f64());
     }
 
     #[test]
-    fn unreachable_returns_none() {
+    fn unreachable_and_unknown_nodes_are_typed_errors() {
         let mut t = Topology::new();
         let a = t.add_node(NodeKind::Device);
         let b = t.add_node(NodeKind::DfServer);
-        assert!(t.route(a, b, 10).is_none());
+        assert_eq!(
+            t.route(a, b, 10),
+            Err(RouteError::NoRoute { src: a, dst: b })
+        );
+        let ghost = NodeId(99);
+        assert_eq!(
+            t.route(a, ghost, 10),
+            Err(RouteError::NodeOutOfRange {
+                node: ghost,
+                n_nodes: 2
+            })
+        );
+        assert_eq!(t.kind(ghost), None);
+        assert_eq!(t.kind(a), Some(NodeKind::Device));
+        for e in [
+            RouteError::NoRoute { src: a, dst: b },
+            RouteError::NodeOutOfRange {
+                node: ghost,
+                n_nodes: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

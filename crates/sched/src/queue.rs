@@ -109,6 +109,45 @@ impl ReadyQueue {
     }
 }
 
+impl simcore::snapshot::Snapshot for Discipline {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u8(match self {
+            Discipline::Fifo => 0,
+            Discipline::Edf => 1,
+            Discipline::Sjf => 2,
+        });
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(Discipline::Fifo),
+            1 => Ok(Discipline::Edf),
+            2 => Ok(Discipline::Sjf),
+            b => Err(simcore::snapshot::SnapshotError::Corrupt(format!(
+                "discipline tag {b}"
+            ))),
+        }
+    }
+}
+
+/// The deque order *is* the discipline-defined service order, so it
+/// checkpoints verbatim.
+impl simcore::snapshot::Snapshot for ReadyQueue {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.discipline.encode(w);
+        self.jobs.encode(w);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(ReadyQueue {
+            discipline: Discipline::decode(r)?,
+            jobs: VecDeque::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -134,6 +134,19 @@ impl FlapTracker {
     }
 }
 
+impl simcore::snapshot::Snapshot for FlapTracker {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.history.encode(w);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(FlapTracker {
+            history: Vec::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,6 +3,7 @@
 //! schedule further events through the [`Scheduler`] facade.
 
 use crate::event::{EventId, EventQueue};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::telemetry::{Phase, PhaseProfiler, HOT_PHASE_STRIDE};
 use crate::time::{SimDuration, SimTime};
 
@@ -100,6 +101,33 @@ impl<E> Scheduler<E> {
     }
 }
 
+/// The scheduler checkpoints its clock, horizon, stop flag, and the
+/// event queue **verbatim** (payloads included). The phase profiler is
+/// deliberately excluded: it measures wall-clock time of this process,
+/// which is not simulation state — a restored run starts a fresh one.
+impl<E: Snapshot> Snapshot for Scheduler<E> {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        self.now.encode(w);
+        self.horizon.encode(w);
+        w.put_bool(self.stopped);
+        self.queue.encode(w);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let now = SimTime::decode(r)?;
+        let horizon = SimTime::decode(r)?;
+        let stopped = r.take_bool()?;
+        let queue = EventQueue::decode(r)?;
+        Ok(Scheduler {
+            now,
+            horizon,
+            stopped,
+            queue,
+            profiler: PhaseProfiler::disabled(),
+        })
+    }
+}
+
 /// Outcome of an engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSummary {
@@ -126,6 +154,20 @@ pub enum StopReason {
     EventBudget,
 }
 
+/// Result of [`Engine::run_until`]: either the run completed (drained,
+/// hit the horizon, stopped, or exhausted its budget) or it paused at
+/// the requested instant with all state intact for checkpointing.
+pub enum EngineRun<M: Model> {
+    /// The run reached `pause_at` and stopped *before* dispatching any
+    /// event at or after it. `Model::finish` has **not** run; the
+    /// engine can be snapshotted or resumed with another `run_until`.
+    /// (Boxed: an engine is far larger than a run summary, and pausing
+    /// happens at most once per leg.)
+    Paused(Box<Engine<M>>),
+    /// The run completed; `Model::finish` has run.
+    Finished(M, RunSummary),
+}
+
 /// The discrete-event engine.
 pub struct Engine<M: Model> {
     model: M,
@@ -133,6 +175,12 @@ pub struct Engine<M: Model> {
     /// Hard cap on dispatched events; guards against accidental infinite
     /// self-scheduling loops in models. Default: `u64::MAX`.
     pub event_budget: u64,
+    /// Events dispatched so far — a field, not a loop local, so the
+    /// count survives pause/resume and checkpoint/restore.
+    events: u64,
+    /// Whether `Model::init` has run (it must run exactly once per
+    /// simulation, even across pause/resume and restore).
+    initialised: bool,
 }
 
 impl<M: Model> Engine<M> {
@@ -142,30 +190,92 @@ impl<M: Model> Engine<M> {
             model,
             sched: Scheduler::new(horizon),
             event_budget: u64::MAX,
+            events: 0,
+            initialised: false,
         }
     }
 
+    /// Rebuild an engine from checkpointed parts. `Model::init` will
+    /// *not* run again: the scheduler's queue already holds the future
+    /// the original `init` (and everything after it) scheduled.
+    pub fn restored(model: M, sched: Scheduler<M::Event>, events: u64) -> Self {
+        Engine {
+            model,
+            sched,
+            event_budget: u64::MAX,
+            events,
+            initialised: true,
+        }
+    }
+
+    /// Events dispatched so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    pub fn scheduler(&self) -> &Scheduler<M::Event> {
+        &self.sched
+    }
+
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.sched
+    }
+
     /// Run to completion and return the model plus a run summary.
-    pub fn run(mut self) -> (M, RunSummary) {
-        self.model.init(&mut self.sched);
-        let mut events = 0u64;
+    pub fn run(self) -> (M, RunSummary) {
+        match self.run_until(SimTime::MAX) {
+            EngineRun::Finished(m, s) => (m, s),
+            // `pause_at == MAX` can never pause: every schedulable event
+            // is strictly earlier.
+            EngineRun::Paused(_) => unreachable!("run cannot pause at SimTime::MAX"),
+        }
+    }
+
+    /// Run until the simulation ends or the clock is about to pass
+    /// `pause_at`, whichever comes first. Events strictly before
+    /// `pause_at` are dispatched; events at or after it stay queued.
+    ///
+    /// The horizon wins ties: a `pause_at` at or beyond the horizon
+    /// never pauses, so the final leg of a resumed run finishes
+    /// normally (including `Model::finish`).
+    pub fn run_until(mut self, pause_at: SimTime) -> EngineRun<M> {
+        if !self.initialised {
+            self.model.init(&mut self.sched);
+            self.initialised = true;
+        }
         let reason = loop {
             if self.sched.stopped {
                 break StopReason::Stopped;
             }
-            if events >= self.event_budget {
+            if self.events >= self.event_budget {
                 break StopReason::EventBudget;
             }
             // Per-event phases are sampled: two clock reads per event
             // would dominate the loop, so only one event per stride
             // pays them (see `HOT_PHASE_STRIDE`).
-            let sample = events & (HOT_PHASE_STRIDE - 1) == 0;
+            let sample = self.events & (HOT_PHASE_STRIDE - 1) == 0;
             let t_pop = self.sched.profiler.start_if(sample);
             let Some(next) = self.sched.queue.peek_time() else {
                 break StopReason::QueueEmpty;
             };
             if next >= self.sched.horizon {
                 break StopReason::HorizonReached;
+            }
+            if next >= pause_at {
+                return EngineRun::Paused(Box::new(self));
             }
             let (t, ev) = self.sched.queue.pop().expect("peeked event vanished");
             self.sched.profiler.stop(Phase::EventPop, t_pop);
@@ -174,7 +284,7 @@ impl<M: Model> Engine<M> {
             let t_dispatch = self.sched.profiler.start_if(sample);
             self.model.handle(t, ev, &mut self.sched);
             self.sched.profiler.stop(Phase::Dispatch, t_dispatch);
-            events += 1;
+            self.events += 1;
         };
         self.model.finish(&mut self.sched);
         let end_time = match reason {
@@ -182,10 +292,10 @@ impl<M: Model> Engine<M> {
             _ => self.sched.now,
         };
         let peak_queue = self.sched.peak_pending();
-        (
+        EngineRun::Finished(
             self.model,
             RunSummary {
-                events,
+                events: self.events,
                 end_time,
                 reason,
                 peak_queue,
@@ -384,6 +494,93 @@ mod tests {
         // No panic, no profiling: the default path records nothing.
         let sched: Scheduler<()> = Scheduler::new(SimTime::from_secs(1));
         assert!(!sched.profiler.is_enabled());
+    }
+
+    #[test]
+    fn run_until_pauses_before_the_mark_and_resumes_identically() {
+        let mk = || {
+            Engine::new(
+                Countdown {
+                    remaining: 10,
+                    fired_at: vec![],
+                },
+                SimTime::from_secs(100),
+            )
+        };
+        let (ref_model, ref_summary) = mk().run();
+
+        let paused = match mk().run_until(SimTime::from_secs(4)) {
+            EngineRun::Paused(e) => e,
+            EngineRun::Finished(..) => panic!("should pause"),
+        };
+        // Events at t=1..3 fired; the t=4 event is still queued.
+        assert_eq!(paused.events(), 3);
+        assert_eq!(paused.model().fired_at.len(), 3);
+        assert_eq!(paused.scheduler().pending(), 1);
+        let (m, s) = paused.run();
+        assert_eq!(m.fired_at, ref_model.fired_at);
+        assert_eq!(s, ref_summary);
+    }
+
+    #[test]
+    fn pause_at_or_past_horizon_finishes_normally() {
+        let e = Engine::new(
+            Countdown {
+                remaining: 1000,
+                fired_at: vec![],
+            },
+            SimTime::from_secs(3),
+        );
+        match e.run_until(SimTime::from_secs(3)) {
+            EngineRun::Finished(_, s) => {
+                assert_eq!(s.reason, StopReason::HorizonReached);
+                assert_eq!(s.end_time, SimTime::from_secs(3));
+            }
+            EngineRun::Paused(_) => panic!("horizon must win the tie"),
+        }
+    }
+
+    #[test]
+    fn scheduler_snapshot_restores_a_paused_run_bit_identically() {
+        use crate::snapshot::{SnapshotReader, SnapshotWriter};
+
+        let mk = || {
+            Engine::new(
+                Countdown {
+                    remaining: 10,
+                    fired_at: vec![],
+                },
+                SimTime::from_secs(100),
+            )
+        };
+        let (ref_model, ref_summary) = mk().run();
+
+        let paused = match mk().run_until(SimTime::from_secs(6)) {
+            EngineRun::Paused(e) => e,
+            EngineRun::Finished(..) => panic!("should pause"),
+        };
+        let mut w = SnapshotWriter::new();
+        paused.scheduler().encode(&mut w);
+        let events = paused.events();
+        let fired_so_far = paused.model().fired_at.clone();
+        let remaining = paused.model().remaining;
+        drop(paused); // the "fresh process": nothing survives but bytes
+
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let sched = Scheduler::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        let restored = Engine::restored(
+            Countdown {
+                remaining,
+                fired_at: fired_so_far,
+            },
+            sched,
+            events,
+        );
+        let (m, s) = restored.run();
+        assert_eq!(m.fired_at, ref_model.fired_at);
+        assert_eq!(s, ref_summary);
     }
 
     #[test]

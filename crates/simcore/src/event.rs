@@ -43,6 +43,7 @@
 //! [`pop`]: SlabEventQueue::pop
 //! [`peek_time`]: SlabEventQueue::peek_time
 
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable for cancellation.
@@ -66,6 +67,17 @@ impl EventId {
     #[inline]
     fn generation(self) -> u32 {
         (self.0 >> 32) as u32
+    }
+}
+
+/// Ids checkpoint as their packed `(slot, generation)` word, so handles
+/// a model holds across a snapshot stay live after restore.
+impl Snapshot for EventId {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(EventId(r.take_u64()?))
     }
 }
 
@@ -337,6 +349,83 @@ impl<E> SlabEventQueue<E> {
     }
 }
 
+/// Checkpoints the queue **verbatim** — heap array layout, slab slots,
+/// generation counters, free-list order, sequence counter. Heap layout
+/// is itself a deterministic function of the schedule/cancel/pop call
+/// sequence, so the byte image is reproducible, and a verbatim restore
+/// keeps every outstanding [`EventId`] live with its exact generation
+/// while future slot assignments (hence future ids) match the
+/// uninterrupted run.
+impl<E: Snapshot> Snapshot for SlabEventQueue<E> {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.heap.v.len() as u64);
+        for e in &self.heap.v {
+            e.time.encode(w);
+            w.put_u64(e.seq);
+            w.put_u32(e.slot);
+            w.put_u32(e.gen);
+        }
+        w.put_u64(self.slots.len() as u64);
+        for s in &self.slots {
+            w.put_u32(s.gen);
+            s.payload.encode(w);
+        }
+        self.free.encode(w);
+        w.put_u64(self.next_seq);
+        w.put_usize(self.live);
+        w.put_usize(self.peak_live);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let hn = r.take_len()?;
+        let mut heap = MinHeap4::with_capacity(hn.min(1 << 20));
+        for _ in 0..hn {
+            let time = SimTime::decode(r)?;
+            let seq = r.take_u64()?;
+            let slot = r.take_u32()?;
+            let gen = r.take_u32()?;
+            heap.v.push(HeapEntry {
+                time,
+                seq,
+                slot,
+                gen,
+            });
+        }
+        let sn = r.take_len()?;
+        let mut slots = Vec::with_capacity(sn.min(1 << 20));
+        for _ in 0..sn {
+            let gen = r.take_u32()?;
+            let payload = Option::<E>::decode(r)?;
+            slots.push(Slot { gen, payload });
+        }
+        let free = Vec::<u32>::decode(r)?;
+        let next_seq = r.take_u64()?;
+        let live = r.take_usize()?;
+        let peak_live = r.take_usize()?;
+        let occupied = slots.iter().filter(|s| s.payload.is_some()).count();
+        if occupied != live {
+            return Err(SnapshotError::Corrupt(format!(
+                "event queue: {occupied} occupied slots but live count {live}"
+            )));
+        }
+        if heap.v.iter().any(|e| e.slot as usize >= slots.len())
+            || free.iter().any(|&f| f as usize >= slots.len())
+        {
+            return Err(SnapshotError::Corrupt(
+                "event queue: slot index out of range".into(),
+            ));
+        }
+        Ok(SlabEventQueue {
+            heap,
+            slots,
+            free,
+            next_seq,
+            live,
+            peak_live,
+        })
+    }
+}
+
 pub mod legacy {
     //! The pre-slab future-event list: `BinaryHeap` of full entries plus
     //! `cancelled`/`pending` `HashSet<u64>` side tables. Kept (always
@@ -346,6 +435,7 @@ pub mod legacy {
     //! benchmark runs.
 
     use super::EventId;
+    use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
     use crate::time::SimTime;
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
@@ -471,6 +561,64 @@ pub mod legacy {
             self.cancelled.clear();
             self.pending.clear();
             n
+        }
+    }
+
+    /// The legacy internals are hash sets and a `BinaryHeap`, neither of
+    /// which iterates deterministically — so the encoding canonicalises:
+    /// entries sorted by sequence number, side tables sorted. Restored
+    /// heap layout may differ from the uninterrupted run's, but pop
+    /// order is the strict `(time, seq)` total order either way.
+    impl<E: Snapshot> Snapshot for LegacyEventQueue<E> {
+        fn encode(&self, w: &mut SnapshotWriter) {
+            let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+            entries.sort_by_key(|e| e.seq);
+            w.put_u64(entries.len() as u64);
+            for e in entries {
+                e.time.encode(w);
+                w.put_u64(e.seq);
+                e.payload.encode(w);
+            }
+            let mut cancelled: Vec<u64> = self.cancelled.iter().copied().collect();
+            cancelled.sort_unstable();
+            cancelled.encode(w);
+            let mut pending: Vec<u64> = self.pending.iter().copied().collect();
+            pending.sort_unstable();
+            pending.encode(w);
+            w.put_u64(self.next_seq);
+            w.put_usize(self.peak);
+        }
+
+        fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+            let n = r.take_len()?;
+            let mut heap = BinaryHeap::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let time = SimTime::decode(r)?;
+                let seq = r.take_u64()?;
+                let payload = E::decode(r)?;
+                heap.push(Entry { time, seq, payload });
+            }
+            let cancelled: std::collections::HashSet<u64> =
+                Vec::<u64>::decode(r)?.into_iter().collect();
+            let pending: std::collections::HashSet<u64> =
+                Vec::<u64>::decode(r)?.into_iter().collect();
+            let next_seq = r.take_u64()?;
+            let peak = r.take_usize()?;
+            if heap.len() != pending.len() + cancelled.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "legacy queue: {} heap entries vs {} pending + {} cancelled",
+                    heap.len(),
+                    pending.len(),
+                    cancelled.len()
+                )));
+            }
+            Ok(LegacyEventQueue {
+                heap,
+                cancelled,
+                pending,
+                next_seq,
+                peak,
+            })
         }
     }
 }
@@ -639,6 +787,53 @@ mod tests {
         assert!(!q.cancel(a));
         assert_eq!(q.len(), 1);
     }
+
+    /// Snapshot/restore mid-trace must preserve pop order, live handles,
+    /// and future id assignment — for both queue implementations.
+    macro_rules! queue_snapshot_suite {
+        ($name:ident, $Q:ident) => {
+            #[test]
+            fn $name() {
+                use crate::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
+                let mut q = $Q::new();
+                let keep = q.schedule(t(50), 1u64);
+                let doomed = q.schedule(t(60), 2);
+                q.schedule(t(40), 3);
+                q.cancel(doomed);
+                q.pop(); // fires 3
+                q.schedule(t(45), 4);
+
+                let mut w = SnapshotWriter::new();
+                q.encode(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = SnapshotReader::new(&bytes);
+                let mut back = $Q::<u64>::decode(&mut r).unwrap();
+                r.expect_end().unwrap();
+
+                assert_eq!(back.len(), q.len());
+                assert_eq!(back.peak_depth(), q.peak_depth());
+                // The held handle survives and cancels the same event.
+                assert!(back.cancel(keep));
+                assert!(q.cancel(keep));
+                // Remaining pops agree, and so do ids issued afterwards.
+                assert_eq!(back.schedule(t(70), 5), q.schedule(t(70), 5));
+                loop {
+                    let a = q.pop();
+                    assert_eq!(a, back.pop());
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                // Truncated input errors, never panics.
+                for cut in 0..bytes.len() {
+                    assert!($Q::<u64>::decode(&mut SnapshotReader::new(&bytes[..cut])).is_err());
+                }
+            }
+        };
+    }
+
+    queue_snapshot_suite!(slab_snapshot_roundtrip, SlabEventQueue);
+    queue_snapshot_suite!(legacy_snapshot_roundtrip, LegacyEventQueue);
 
     /// Drive both implementations through an identical randomized
     /// schedule/cancel/pop trace and require identical observable

@@ -18,6 +18,10 @@
 //!   intervals (the only place threads are used; each replication is an
 //!   independent, deterministic simulation).
 //! - [`report`]: plain-text table rendering used by the experiment harness.
+//! - [`snapshot`]: versioned, checksummed checkpoint codec — the
+//!   [`Snapshot`](snapshot::Snapshot) trait plus the `DF3SNAP` section
+//!   container behind deterministic checkpoint/restore and
+//!   branch-from-snapshot sweeps.
 //! - [`telemetry`]: the flight recorder (interned tags, typed fields,
 //!   capped ring buffer), wall-clock phase profiler, and the export
 //!   back-ends (Chrome trace-event JSON, Prometheus text, JSON
@@ -37,6 +41,7 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod snapshot;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
@@ -44,6 +49,7 @@ pub mod trace;
 pub use engine::{Engine, Model, Scheduler};
 pub use event::{legacy::LegacyEventQueue, EventQueue, SlabEventQueue};
 pub use rng::RngStreams;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotFile, SnapshotReader, SnapshotWriter};
 pub use telemetry::{Telemetry, TelemetryConfig};
 pub use time::{SimDuration, SimTime};
 

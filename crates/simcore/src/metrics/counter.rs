@@ -37,6 +37,19 @@ impl Counter {
     }
 }
 
+impl crate::snapshot::Snapshot for Counter {
+    fn encode(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.value);
+    }
+    fn decode(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(Counter {
+            value: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -155,6 +155,41 @@ impl Histogram {
     }
 }
 
+impl crate::snapshot::Snapshot for Histogram {
+    fn encode(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        self.bins.encode(w);
+        w.put_u64(self.underflow);
+        w.put_u64(self.overflow);
+        self.summary.encode(w);
+    }
+    fn decode(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let lo = r.take_f64()?;
+        let hi = r.take_f64()?;
+        let bins = Vec::<u64>::decode(r)?;
+        // Re-check the constructor invariants so a decoded histogram can
+        // never panic later in `observe`/`quantile`.
+        if hi <= lo || hi.is_nan() || lo.is_nan() || bins.is_empty() {
+            return Err(SnapshotError::Corrupt(format!(
+                "histogram range [{lo}, {hi}) with {} bins",
+                bins.len()
+            )));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins,
+            underflow: r.take_u64()?,
+            overflow: r.take_u64()?,
+            summary: Summary::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,7 @@ mod timeweighted;
 
 pub use counter::Counter;
 pub use histogram::Histogram;
-pub use registry::{registry_len, MetricId};
+pub use registry::{registry_len, registry_names, reintern_names, MetricId};
 pub use summary::Summary;
 pub use timeseries::{MonthlyAggregate, TimeSeries};
 pub use timeweighted::TimeWeighted;

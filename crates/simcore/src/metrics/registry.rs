@@ -81,6 +81,29 @@ pub fn registry_len() -> usize {
     interner().read().unwrap().names.len()
 }
 
+/// All interned names in id order — the checkpointable image of the
+/// registry (the registry is process-global, so snapshots carry the name
+/// list rather than the ids themselves).
+pub fn registry_names() -> Vec<String> {
+    interner()
+        .read()
+        .unwrap()
+        .names
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Re-intern a checkpointed name list. In a fresh process this replays
+/// the exact id assignment; in a process that already interned other
+/// names, ids may differ but every name still resolves — which is safe
+/// because snapshots never store raw [`MetricId`] values.
+pub fn reintern_names<S: AsRef<str>>(names: &[S]) {
+    for n in names {
+        MetricId::intern(n.as_ref());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

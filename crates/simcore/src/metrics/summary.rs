@@ -126,6 +126,27 @@ impl Summary {
     }
 }
 
+impl crate::snapshot::Snapshot for Summary {
+    fn encode(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+    fn decode(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(Summary {
+            n: r.take_u64()?,
+            mean: r.take_f64()?,
+            m2: r.take_f64()?,
+            min: r.take_f64()?,
+            max: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

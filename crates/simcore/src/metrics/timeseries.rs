@@ -121,6 +121,28 @@ impl TimeSeries {
     }
 }
 
+impl crate::snapshot::Snapshot for TimeSeries {
+    fn encode(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        self.times.encode(w);
+        self.values.encode(w);
+    }
+    fn decode(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let times = Vec::<SimTime>::decode(r)?;
+        let values = Vec::<f64>::decode(r)?;
+        if times.len() != values.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "time series: {} times vs {} values",
+                times.len(),
+                values.len()
+            )));
+        }
+        Ok(TimeSeries { times, values })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

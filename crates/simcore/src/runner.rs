@@ -287,6 +287,41 @@ mod tests {
         assert!(items.contains(&("row-rt-b", 0.0)));
     }
 
+    /// `replicate()` aggregates must not depend on how many workers the
+    /// thread pool runs: every replication is seeded from its index, and
+    /// results are reduced in input order regardless of completion order.
+    #[test]
+    fn aggregates_are_identical_across_worker_counts() {
+        let sim = |i: usize, s: RngStreams| {
+            let mut r = s.stream("load");
+            row(&[("v", r.gen::<f64>()), ("u", r.gen::<f64>() + i as f64)])
+        };
+        let fingerprint = |a: &Aggregate| {
+            let mut bits = Vec::new();
+            for name in ["v", "u"] {
+                let s = a.get(name);
+                bits.push(s.mean().to_bits());
+                bits.push(s.std().to_bits());
+                bits.push(s.min().to_bits());
+                bits.push(s.max().to_bits());
+                bits.push(s.count());
+            }
+            bits
+        };
+        rayon::set_num_threads(1);
+        let reference = fingerprint(&replicate(RngStreams::new(2024), 24, sim));
+        for threads in [2, 3, 8] {
+            rayon::set_num_threads(threads);
+            let agg = replicate(RngStreams::new(2024), 24, sim);
+            assert_eq!(
+                fingerprint(&agg),
+                reference,
+                "aggregate changed with {threads} worker threads"
+            );
+        }
+        rayon::set_num_threads(0); // restore auto for the rest of the suite
+    }
+
     /// Regression guard for the dense-row change: `replicate()` must
     /// aggregate to exactly what a name-keyed `BTreeMap` reduction of the
     /// same rows produces (the pre-`MetricId` representation).

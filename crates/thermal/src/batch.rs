@@ -344,6 +344,68 @@ impl ThermalBatch {
     }
 }
 
+/// All eight columns checkpoint **verbatim** — including the decay
+/// cache and its NaN "dirty" sentinels (`f64` travels as raw bits, so
+/// NaN survives) — plus the reference-mode flag. Restoring mid-run must
+/// not silently invalidate the cache: a recomputed `exp` is bit-equal
+/// to the cached value, but keeping the bytes identical makes snapshot
+/// equality checks exact rather than argued.
+impl simcore::snapshot::Snapshot for ThermalBatch {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.temp_c.encode(w);
+        self.resistance.encode(w);
+        self.gains_w.encode(w);
+        self.tau_s.encode(w);
+        self.decay.encode(w);
+        self.decay_dt_s.encode(w);
+        self.dt_s.encode(w);
+        self.heater_w.encode(w);
+        w.put_bool(self.scalar_reference);
+    }
+
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        let temp_c = Vec::<f64>::decode(r)?;
+        let resistance = Vec::<f64>::decode(r)?;
+        let gains_w = Vec::<f64>::decode(r)?;
+        let tau_s = Vec::<f64>::decode(r)?;
+        let decay = Vec::<f64>::decode(r)?;
+        let decay_dt_s = Vec::<f64>::decode(r)?;
+        let dt_s = Vec::<f64>::decode(r)?;
+        let heater_w = Vec::<f64>::decode(r)?;
+        let scalar_reference = r.take_bool()?;
+        let n = temp_c.len();
+        if [
+            resistance.len(),
+            gains_w.len(),
+            tau_s.len(),
+            decay.len(),
+            decay_dt_s.len(),
+            dt_s.len(),
+            heater_w.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err(simcore::snapshot::SnapshotError::Corrupt(
+                "thermal batch: column lengths disagree".into(),
+            ));
+        }
+        Ok(ThermalBatch {
+            temp_c,
+            resistance,
+            gains_w,
+            tau_s,
+            decay,
+            decay_dt_s,
+            dt_s,
+            heater_w,
+            scalar_reference,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +416,46 @@ mod tests {
             resistance_k_per_w: r,
             capacitance_j_per_k: c,
             internal_gains_w: gains,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_bit_identically() {
+        use simcore::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
+        let mut b = ThermalBatch::default();
+        for i in 0..5 {
+            b.push(params(0.005, 4.0e6, 100.0 + i as f64), 18.0 + i as f64);
+        }
+        // Warm the decay cache on some rooms, leave others dirty (NaN).
+        for i in 0..3 {
+            b.stage(i, SimDuration::from_secs(600), 500.0);
+        }
+        b.step_staged(-5.0);
+        let mut w = SnapshotWriter::new();
+        b.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = ThermalBatch::decode(&mut SnapshotReader::new(&bytes)).unwrap();
+        assert_eq!(back.temperatures(), b.temperatures());
+        // Continue both: cached-decay and restored paths must agree to
+        // the bit, across cached and dirty rooms alike.
+        for step in 0..10 {
+            for i in 0..5 {
+                let dt = SimDuration::from_secs(if step % 3 == 0 { 600 } else { 900 });
+                b.stage(i, dt, 250.0 * i as f64);
+                back.stage(i, dt, 250.0 * i as f64);
+            }
+            b.step_staged(-2.0);
+            back.step_staged(-2.0);
+            for i in 0..5 {
+                assert_eq!(
+                    b.temperature_c(i).to_bits(),
+                    back.temperature_c(i).to_bits(),
+                    "room {i} diverged after restore"
+                );
+            }
+        }
+        for cut in 0..bytes.len() {
+            assert!(ThermalBatch::decode(&mut SnapshotReader::new(&bytes[..cut])).is_err());
         }
     }
 

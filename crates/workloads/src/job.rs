@@ -87,6 +87,68 @@ impl Job {
     }
 }
 
+impl simcore::snapshot::Snapshot for JobId {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u64(self.0);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(JobId(r.take_u64()?))
+    }
+}
+
+impl simcore::snapshot::Snapshot for Flow {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u8(match self {
+            Flow::Dcc => 0,
+            Flow::EdgeDirect => 1,
+            Flow::EdgeIndirect => 2,
+        });
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(Flow::Dcc),
+            1 => Ok(Flow::EdgeDirect),
+            2 => Ok(Flow::EdgeIndirect),
+            b => Err(simcore::snapshot::SnapshotError::Corrupt(format!(
+                "flow tag {b}"
+            ))),
+        }
+    }
+}
+
+impl simcore::snapshot::Snapshot for Job {
+    fn encode(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.id.encode(w);
+        self.flow.encode(w);
+        self.arrival.encode(w);
+        w.put_f64(self.work_gops);
+        w.put_usize(self.cores);
+        self.deadline.encode(w);
+        w.put_usize(self.input_bytes);
+        w.put_usize(self.output_bytes);
+        w.put_u32(self.org);
+    }
+    fn decode(
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, simcore::snapshot::SnapshotError> {
+        Ok(Job {
+            id: JobId::decode(r)?,
+            flow: Flow::decode(r)?,
+            arrival: SimTime::decode(r)?,
+            work_gops: r.take_f64()?,
+            cores: r.take_usize()?,
+            deadline: Option::<SimDuration>::decode(r)?,
+            input_bytes: r.take_usize()?,
+            output_bytes: r.take_usize()?,
+            org: r.take_u32()?,
+        })
+    }
+}
+
 /// A generated stream of jobs, sorted by arrival.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct JobStream {

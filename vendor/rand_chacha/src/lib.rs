@@ -72,6 +72,25 @@ impl ChaCha8Rng {
         self.idx += 1;
         w
     }
+
+    /// Full generator state — input block, current keystream block, and
+    /// the cursor into it — for external checkpointing. Together with
+    /// [`ChaCha8Rng::from_state`] this round-trips a generator at any
+    /// position, including mid-block.
+    pub fn state(&self) -> ([u32; WORDS], [u32; WORDS], usize) {
+        (self.input, self.buf, self.idx)
+    }
+
+    /// Rebuild a generator from a [`ChaCha8Rng::state`] triple. An `idx`
+    /// past the block end is clamped to "exhausted" (the next draw
+    /// refills), which is also what `from_seed` starts with.
+    pub fn from_state(input: [u32; WORDS], buf: [u32; WORDS], idx: usize) -> Self {
+        ChaCha8Rng {
+            input,
+            buf,
+            idx: idx.min(WORDS),
+        }
+    }
 }
 
 impl SeedableRng for ChaCha8Rng {

@@ -11,6 +11,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Worker-count override installed by [`set_num_threads`]; 0 = auto
+/// (one worker per available core).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the worker count for subsequent parallel calls (0 restores
+/// auto). The upstream crate scopes this to a `ThreadPool`; this subset
+/// keeps one global knob, which is all the workspace's determinism
+/// tests need — results must not depend on the value.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
 /// Map `f` over `items` in parallel, preserving input order.
 ///
 /// Dynamic scheduling: each worker claims the next unprocessed index, so
@@ -24,10 +36,13 @@ where
     F: Fn(T) -> U + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let threads = match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        pinned => pinned,
+    }
+    .min(n);
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
